@@ -1,0 +1,71 @@
+// Command i2pcensor runs the paper's censorship-resistance experiments:
+// the probabilistic address-based blocking model (Figure 13), the eepsite
+// usability evaluation under null-routing (Figure 14), reseed blocking and
+// manual reseeding (Section 6.1), the bridge strategies of Section 7.1,
+// and the DPI fingerprinting study of Section 2.2.2.
+//
+// Usage:
+//
+//	i2pcensor [-scale 0.1] [-seed 2018] [-experiment figure-13]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/i2pstudy/i2pstudy/internal/core"
+)
+
+var censorshipIDs = []string{
+	"figure-13", "figure-14", "reseed-blocking", "bridge-strategies",
+	"dpi-fingerprinting", "port-blocking", "eclipse-attack",
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("i2pcensor: ")
+
+	scale := flag.Float64("scale", 0.1, "network scale relative to the paper's 30.5K daily peers")
+	seed := flag.Uint64("seed", 2018, "simulation seed")
+	days := flag.Int("days", 45, "study horizon in days (>= 40)")
+	experiment := flag.String("experiment", "", "run a single experiment by ID")
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	opts.Seed = *seed
+	opts.Days = *days
+	opts.TargetDailyPeers = int(*scale * 30500)
+	study, err := core.NewStudy(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d daily peers (scale %.2f), %d days, seed %d\n\n",
+		opts.TargetDailyPeers, *scale, opts.Days, opts.Seed)
+
+	ids := censorshipIDs
+	if *experiment != "" {
+		ids = []string{*experiment}
+	}
+	for _, id := range ids {
+		res, err := study.RunExperiment(id)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Printf("=== %s: %s\n", res.ID, res.Title)
+		if e, ok := core.Lookup(id); ok {
+			fmt.Printf("paper: %s\n\n", e.Paper)
+		}
+		fmt.Println(res.Text)
+		keys := make([]string, 0, len(res.Metrics))
+		for k := range res.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-28s %.3f\n", k, res.Metrics[k])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,153 @@
+// Command i2pmeasure runs the paper's measurement experiments (Figures
+// 2–12, Table 1, the floodfill population estimate) against a synthetic
+// network and prints the regenerated artifacts.
+//
+// Usage:
+//
+//	i2pmeasure -list
+//	i2pmeasure [-scale 0.1] [-seed 2018] [-experiment figure-05] [-snapshot-dir DIR]
+//
+// Without -experiment, every measurement experiment runs in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/core"
+	"github.com/i2pstudy/i2pstudy/internal/measure"
+)
+
+// measurementIDs are the Section 5 artifacts this tool owns; censorship
+// experiments live in cmd/i2pcensor.
+var measurementIDs = []string{
+	"figure-02", "figure-03", "figure-04", "figure-05", "figure-06",
+	"figure-07", "figure-08", "figure-09", "table-01", "estimate-floodfill",
+	"figure-10", "figure-11", "figure-12",
+	"ablation-observer-mix", "ablation-flood-fanout",
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("i2pmeasure: ")
+
+	scale := flag.Float64("scale", 0.1, "network scale relative to the paper's 30.5K daily peers")
+	seed := flag.Uint64("seed", 2018, "simulation seed")
+	days := flag.Int("days", 45, "study horizon in days (>= 40)")
+	experiment := flag.String("experiment", "", "run a single experiment by ID")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	snapshotDir := flag.String("snapshot-dir", "", "persist daily netDb snapshots (routerInfo-*.dat) under this directory")
+	csvDir := flag.String("csv-dir", "", "write each figure's data series as CSV under this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := core.DefaultOptions()
+	opts.Seed = *seed
+	opts.Days = *days
+	opts.TargetDailyPeers = int(*scale * 30500)
+	study, err := core.NewStudy(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d daily peers (scale %.2f), %d days, seed %d\n\n",
+		opts.TargetDailyPeers, *scale, opts.Days, opts.Seed)
+
+	if *snapshotDir != "" {
+		if err := writeSnapshots(study, *snapshotDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ids := measurementIDs
+	if *experiment != "" {
+		ids = []string{*experiment}
+	}
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	start := time.Now()
+	for _, id := range sorted {
+		res, err := study.RunExperiment(id)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Printf("=== %s: %s\n", res.ID, res.Title)
+		fmt.Printf("paper: %s\n\n", paperNote(res.ID))
+		fmt.Println(res.Text)
+		printMetrics(res.Metrics)
+		fmt.Println()
+		if *csvDir != "" && res.Figure != nil {
+			if err := writeCSV(*csvDir, res); err != nil {
+				log.Fatalf("%s: csv: %v", id, err)
+			}
+		}
+	}
+	fmt.Printf("completed %d experiments in %s\n", len(sorted), time.Since(start).Round(time.Millisecond))
+}
+
+// writeSnapshots runs a short 3-observer campaign with disk snapshots to
+// demonstrate the netDb-directory watching workflow of Section 4.3.
+func writeSnapshots(study *core.Study, dir string) error {
+	c, err := measure.NewCampaign(study.Net, measure.CampaignConfig{
+		Observers:   measure.DefaultObserverFleet(3),
+		StartDay:    0,
+		EndDay:      3,
+		SnapshotDir: dir,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := c.Run(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote netDb snapshots for days 0-2 under %s\n\n", dir)
+	return nil
+}
+
+// writeCSV exports one experiment's figure series to <dir>/<id>.csv.
+func writeCSV(dir string, res *core.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, res.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.Figure.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", f.Name())
+	return nil
+}
+
+func paperNote(id string) string {
+	if e, ok := core.Lookup(id); ok {
+		return e.Paper
+	}
+	return ""
+}
+
+func printMetrics(m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-28s %.3f\n", k, m[k])
+	}
+	fmt.Print(b.String())
+}

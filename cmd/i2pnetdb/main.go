@@ -1,0 +1,88 @@
+// Command i2pnetdb inspects a netDb snapshot directory of routerInfo-*.dat
+// files (as written by the measurement harness or by `i2pmeasure
+// -snapshot-dir`), printing the record inventory: capacity flags,
+// floodfill share, unknown-IP classification and geographic mix.
+//
+// Usage:
+//
+//	i2pnetdb DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/geo"
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+	"github.com/i2pstudy/i2pstudy/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("i2pnetdb: ")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: i2pnetdb DIR")
+	}
+	dir := flag.Arg(0)
+
+	store := netdb.NewStore(false)
+	loaded, err := store.LoadDir(dir, time.Now().UTC())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d RouterInfos from %s\n\n", loaded, dir)
+
+	db := geo.NewDB()
+	classCounts := map[netdb.BandwidthClass]int{}
+	ff, reachable, unknown, firewalled, hidden := 0, 0, 0, 0, 0
+	countries := stats.NewCounter()
+	unresolved := 0
+	for _, ri := range store.RouterInfos() {
+		for _, cl := range ri.Caps.PublishedClasses() {
+			classCounts[cl]++
+		}
+		if ri.Caps.Floodfill {
+			ff++
+		}
+		if ri.Caps.Reachable {
+			reachable++
+		}
+		if ri.UnknownIP() {
+			unknown++
+		}
+		if ri.Firewalled() {
+			firewalled++
+		}
+		if ri.HiddenPeer() {
+			hidden++
+		}
+		for _, addr := range ri.IPs() {
+			if rec, ok := db.Lookup(addr); ok {
+				countries.Inc(rec.CountryCode)
+			} else {
+				unresolved++
+			}
+		}
+	}
+
+	total := store.RouterCount()
+	rows := [][]string{{"class", "records", "share"}}
+	for _, cl := range netdb.BandwidthClasses {
+		rows = append(rows, []string{cl.String(), fmt.Sprint(classCounts[cl]), stats.Percent(classCounts[cl], total)})
+	}
+	fmt.Println(stats.RenderTable(rows))
+	fmt.Printf("floodfill: %d (%s)\n", ff, stats.Percent(ff, total))
+	fmt.Printf("reachable: %d (%s)\n", reachable, stats.Percent(reachable, total))
+	fmt.Printf("unknown-IP: %d (firewalled %d, hidden %d)\n", unknown, firewalled, hidden)
+	fmt.Printf("unresolved addresses: %d\n\n", unresolved)
+
+	top := countries.Top(10)
+	rows = [][]string{{"country", "addresses"}}
+	for _, kv := range top {
+		rows = append(rows, []string{kv.Key, fmt.Sprint(kv.Count)})
+	}
+	fmt.Println(stats.RenderTable(rows))
+}

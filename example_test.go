@@ -1,0 +1,63 @@
+package i2pstudy_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/i2pstudy/i2pstudy"
+)
+
+// ExampleExperiments lists the registry: one experiment per table and
+// figure in the paper's evaluation, plus the extension studies.
+func ExampleExperiments() {
+	for _, e := range i2pstudy.Experiments()[:3] {
+		fmt.Println(e.ID)
+	}
+	// Output:
+	// ablation-flood-fanout
+	// ablation-observer-mix
+	// bridge-strategies
+}
+
+// ExampleNewStudy builds a small deterministic study and runs the
+// Section 2.2.2 port-blocking experiment. Identical options always give
+// identical results.
+func ExampleNewStudy() {
+	study, err := i2pstudy.NewStudy(i2pstudy.Options{
+		Seed:             1,
+		Days:             45,
+		TargetDailyPeers: 500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := study.RunExperiment("port-blocking")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("I2P peers blocked by the port rule: %.0f%%\n", res.Metrics["i2p_blocked_pct"])
+	fmt.Printf("address-blocking collateral: %.0f%%\n", res.Metrics["address_collateral_pct"])
+	// Output:
+	// I2P peers blocked by the port rule: 100%
+	// address-blocking collateral: 0%
+}
+
+// ExampleStudy_RunExperiment regenerates one of the paper's artifacts and
+// prints its headline metric names.
+func ExampleStudy_RunExperiment() {
+	study, err := i2pstudy.NewStudy(i2pstudy.Options{
+		Seed:             1,
+		Days:             45,
+		TargetDailyPeers: 500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := study.RunExperiment("reseed-blocking")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrap fails when reseeds are blocked: %v\n", res.Metrics["blocked_bootstrap_fail"] == 1)
+	// Output:
+	// bootstrap fails when reseeds are blocked: true
+}

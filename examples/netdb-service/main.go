@@ -1,0 +1,129 @@
+// netdb-service: the distributed directory of Section 2.1.2 running for
+// real — three floodfill routers on loopback TCP, speaking the obfuscated
+// transport, storing and flooding RouterInfos, answering lookups and
+// exploratory queries, and serving a LeaseSet for an eepsite destination
+// addressed by its .b32.i2p name.
+//
+// Run with:
+//
+//	go run ./examples/netdb-service
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/floodfill"
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+)
+
+func main() {
+	log.SetFlags(0)
+	now := time.Now().UTC()
+
+	// Three floodfill routers, fully meshed for flooding.
+	ids := []uint64{101, 102, 103}
+	servers := make(map[uint64]*floodfill.Server, len(ids))
+	for _, id := range ids {
+		srv := floodfill.NewServer(netdb.NewStore(true), floodfill.Config{
+			Identity: netdb.HashFromUint64(id),
+			Fanout:   netdb.FloodFanout,
+		})
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		servers[id] = srv
+		fmt.Printf("floodfill %d listening on %s\n", id, srv.Addr())
+	}
+	for idA, a := range servers {
+		for idB, b := range servers {
+			if idA != idB {
+				a.AddPeer(netdb.HashFromUint64(idB), b.Addr())
+			}
+		}
+	}
+
+	// A peer publishes its RouterInfo to one floodfill; flooding carries
+	// it to the rest.
+	client, err := floodfill.Dial(servers[101].Addr(), netdb.HashFromUint64(101))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	ri := &netdb.RouterInfo{
+		Identity:  netdb.HashFromUint64(31337),
+		Published: now,
+		Caps:      netdb.NewCaps(300, false, true),
+		Version:   "0.9.34",
+		Addresses: []netdb.RouterAddress{{
+			Transport: netdb.TransportNTCP,
+			Addr:      netip.MustParseAddr("203.0.113.99"),
+			Port:      14444,
+		}},
+	}
+	if err := client.StoreRouterInfo(ri, true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstored RouterInfo %s (caps %s) at floodfill 101, confirmed\n",
+		ri.Identity.Short(), ri.Caps)
+
+	// Wait for the flood, then look the record up at a different floodfill.
+	time.Sleep(200 * time.Millisecond)
+	other, err := floodfill.Dial(servers[103].Addr(), netdb.HashFromUint64(103))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer other.Close()
+	got, referrals, err := other.LookupRouterInfo(ri.Identity, netdb.HashFromUint64(555))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if got != nil {
+		fmt.Printf("lookup at floodfill 103 (reached via flooding): found %s, %d address(es)\n",
+			got.Identity.Short(), len(got.Addresses))
+	} else {
+		fmt.Printf("lookup missed; %d referrals\n", len(referrals))
+	}
+
+	// An eepsite destination publishes its LeaseSet; clients resolve the
+	// .b32.i2p name to the destination hash and query.
+	dest := netdb.HashFromUint64(99999)
+	fmt.Printf("\neepsite address: %s\n", dest.B32())
+	ls := &netdb.LeaseSet{
+		Destination: dest,
+		Published:   now,
+		Leases: []netdb.Lease{{
+			Gateway:  ri.Identity,
+			TunnelID: 42,
+			Expires:  now.Add(10 * time.Minute),
+		}},
+	}
+	if err := client.StoreLeaseSet(ls, true); err != nil {
+		log.Fatal(err)
+	}
+	parsed, err := netdb.ParseB32(dest.B32())
+	if err != nil {
+		log.Fatal(err)
+	}
+	gotLS, _, err := client.LookupLeaseSet(parsed, netdb.HashFromUint64(555))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if gotLS != nil {
+		fmt.Printf("resolved LeaseSet: gateway %s, tunnel %d, expires %s\n",
+			gotLS.Leases[0].Gateway.Short(), gotLS.Leases[0].TunnelID,
+			gotLS.Leases[0].Expires.Format(time.Kitchen))
+	}
+
+	// Exploratory lookup: how a peer short on RouterInfos harvests more
+	// (the Section 4.2 mechanism the paper declined to abuse).
+	peers, err := client.Explore(netdb.HashFromUint64(1), netdb.HashFromUint64(555), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexploratory lookup returned %d peer referral(s)\n", len(peers))
+}

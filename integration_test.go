@@ -1,0 +1,202 @@
+package i2pstudy_test
+
+import (
+	"math/rand/v2"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy"
+	"github.com/i2pstudy/i2pstudy/internal/censor"
+	"github.com/i2pstudy/i2pstudy/internal/eepsite"
+	"github.com/i2pstudy/i2pstudy/internal/measure"
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+	"github.com/i2pstudy/i2pstudy/internal/reseed"
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+	"github.com/i2pstudy/i2pstudy/internal/tunnel"
+)
+
+func TestFacadeAPI(t *testing.T) {
+	if len(i2pstudy.Experiments()) < 20 {
+		t.Fatalf("registry too small: %d", len(i2pstudy.Experiments()))
+	}
+	if _, ok := i2pstudy.Lookup("figure-13"); !ok {
+		t.Fatal("figure-13 missing from facade")
+	}
+	opts := i2pstudy.DefaultOptions()
+	if opts.TargetDailyPeers <= 0 || opts.Days < 40 {
+		t.Fatal("default options malformed")
+	}
+	full := i2pstudy.FullScaleOptions()
+	if full.TargetDailyPeers != 30500 || full.Days != 90 {
+		t.Fatal("full-scale options do not match the paper")
+	}
+}
+
+// TestEndToEndPipeline drives the whole stack through its public seams:
+// simulate -> observe -> persist netDb to disk -> reload -> serve over a
+// real reseed HTTP server -> bootstrap a fresh client -> build tunnels ->
+// fetch an eepsite -> then repeat the fetch under a censor blacklist.
+func TestEndToEndPipeline(t *testing.T) {
+	network, err := sim.New(sim.Config{Seed: 77, Days: 42, TargetDailyPeers: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := 20
+	now := network.DayTime(day)
+
+	// Step 1: a measurement campaign with on-disk snapshots (the paper's
+	// netDb-directory watching).
+	snapDir := t.TempDir()
+	campaign, err := measure.NewCampaign(network, measure.CampaignConfig{
+		Observers:   measure.DefaultObserverFleet(4),
+		StartDay:    day,
+		EndDay:      day + 1,
+		SnapshotDir: snapDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.TotalPeers() == 0 {
+		t.Fatal("campaign observed nothing")
+	}
+
+	// Step 2: reload the snapshot from disk — every record must parse and
+	// carry a verifiable integrity tag.
+	store := netdb.NewStore(false)
+	loaded, err := store.LoadDir(filepath.Join(snapDir, "day-020", "netDb"), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded < ds.Days[0].Peers/2 {
+		t.Fatalf("reloaded %d of %d records", loaded, ds.Days[0].Peers)
+	}
+
+	// Step 3: run a reseed server over real HTTP, backed by the reloaded
+	// store, and bootstrap a fresh client from it.
+	srv := reseed.NewServer("integration-reseed", 75, store.RouterInfos, 5)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	bundle, err := reseed.FetchHTTP(ts.Client(), ts.URL+"/"+reseed.SeedFileName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle.Records) == 0 {
+		t.Fatal("empty reseed bundle")
+	}
+	clientStore := netdb.NewStore(false)
+	for _, ri := range bundle.Records {
+		clientStore.PutRouterInfo(ri, now)
+	}
+
+	// Step 4: the bootstrapped client builds tunnels from its fresh netDb
+	// and fetches an eepsite.
+	rng := rand.New(rand.NewPCG(9, 9))
+	candidates := clientStore.RouterInfos()
+	pool := tunnel.NewPool(netdb.HashFromUint64(999999), tunnel.DefaultSelector(), &tunnel.Builder{}, 2)
+	if _, err := pool.Maintain(candidates, now, rng); err != nil {
+		t.Fatalf("tunnel build from bootstrapped netDb: %v", err)
+	}
+	in, out := pool.Tunnels()
+	if in == nil || out == nil {
+		t.Fatal("tunnels missing")
+	}
+	// Garlic round trip through the freshly built outbound tunnel.
+	payload := []byte("GET / HTTP/1.1")
+	wrapped := tunnel.WrapLayers(out, payload)
+	got, err := tunnel.TraverseTunnel(out, wrapped)
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("garlic traversal failed: %v", err)
+	}
+
+	site := eepsite.NewSite(netdb.HashFromUint64(31337))
+	client := eepsite.NewClient(candidates, nil)
+	res, err := client.Fetch(site, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeout() {
+		t.Fatal("unblocked fetch timed out")
+	}
+
+	// Step 5: a censor blacklists the network; the same client's fetches
+	// degrade into 504s.
+	cz, err := censor.NewCensor(network, 20, 5, 404)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockedPeer := cz.BlockedPeerFunc(20, day)
+	byHash := make(map[netdb.Hash]int)
+	for _, idx := range network.ActivePeers(day) {
+		byHash[network.Peers[idx].ID] = idx
+	}
+	blocked := func(h netdb.Hash) bool {
+		idx, ok := byHash[h]
+		return ok && blockedPeer(idx)
+	}
+	blockedClient := eepsite.NewClient(candidates, blocked)
+	stats, err := blockedClient.Crawl(site, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TimeoutPct() < 30 {
+		t.Fatalf("strong censor produced only %.0f%% timeouts", stats.TimeoutPct())
+	}
+	if stats.MeanLoad <= res.LoadTime {
+		t.Fatal("blocking did not increase load time")
+	}
+}
+
+// TestStudyDeterminism: identical options give byte-identical artifacts.
+func TestStudyDeterminism(t *testing.T) {
+	opts := i2pstudy.DefaultOptions()
+	opts.TargetDailyPeers = 800
+	a, err := i2pstudy.NewStudy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := i2pstudy.NewStudy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"figure-09", "figure-13"} {
+		ra, err := a.RunExperiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.RunExperiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Text != rb.Text {
+			t.Fatalf("%s: artifacts differ between identical studies", id)
+		}
+	}
+}
+
+// TestFullScaleSmoke builds the paper-scale network (guarded by -short).
+func TestFullScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale network build skipped in -short mode")
+	}
+	start := time.Now()
+	network, err := sim.New(sim.Config{Seed: 1, Days: 90, TargetDailyPeers: 30500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := len(network.ActivePeers(45))
+	if active < 24000 || active > 37000 {
+		t.Fatalf("full-scale day-45 actives = %d, want ~30.5K", active)
+	}
+	o := network.NewObserver(sim.ObserverConfig{Floodfill: false, SharedKBps: sim.MaxSharedKBps, Seed: 3})
+	seen := len(o.ObserveDay(45))
+	if seen < 12000 || seen > 20000 {
+		t.Fatalf("full-scale single-router view = %d, want ~15-16K (paper Figure 2)", seen)
+	}
+	t.Logf("full-scale build+observe took %s: %d actives, %d observed", time.Since(start).Round(time.Millisecond), active, seen)
+}

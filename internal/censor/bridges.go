@@ -1,0 +1,212 @@
+package censor
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+)
+
+// This file implements the Section 7.1 mitigation study: using newly
+// joined peers (which the censor has not yet observed) and firewalled
+// peers (which publish no blockable address) as bridges for users behind
+// the address-blocking firewall.
+
+// BridgeStrategy selects the candidate pool for bridge distribution.
+type BridgeStrategy int
+
+// Bridge strategies from Section 7.1.
+const (
+	// BridgeRandom draws from all known-IP peers: the baseline that a
+	// naive bridge distributor would use.
+	BridgeRandom BridgeStrategy = iota
+	// BridgeNewlyJoined draws from peers that joined within the last two
+	// days: "since these peers are newly joined, they are less likely
+	// discovered and blocked immediately by the censor".
+	BridgeNewlyJoined
+	// BridgeFirewalled draws from firewalled peers: "without a public IP
+	// address, the censor cannot apply the address-based blocking
+	// technique".
+	BridgeFirewalled
+	// BridgeCombined mixes newly joined and firewalled peers — the
+	// paper's proposed "potentially sustainable solution".
+	BridgeCombined
+)
+
+func (s BridgeStrategy) String() string {
+	switch s {
+	case BridgeRandom:
+		return "random"
+	case BridgeNewlyJoined:
+		return "newly-joined"
+	case BridgeFirewalled:
+		return "firewalled"
+	case BridgeCombined:
+		return "combined"
+	default:
+		return fmt.Sprintf("BridgeStrategy(%d)", int(s))
+	}
+}
+
+// BridgeEvaluation reports how a strategy's bridges fare under a censor.
+type BridgeEvaluation struct {
+	Strategy BridgeStrategy
+	// PoolSize is how many candidates the strategy had to draw from.
+	PoolSize int
+	// Selected is how many bridges were handed out.
+	Selected int
+	// UsableByDay[d] is the fraction of selected bridges still usable d
+	// days after distribution: online and reachable from behind the
+	// firewall (unblocked address, or for firewalled bridges at least one
+	// unblocked introducer).
+	UsableByDay []float64
+}
+
+// InitialUsable returns the day-0 usable fraction.
+func (e BridgeEvaluation) InitialUsable() float64 {
+	if len(e.UsableByDay) == 0 {
+		return 0
+	}
+	return e.UsableByDay[0]
+}
+
+// FinalUsable returns the last-day usable fraction.
+func (e BridgeEvaluation) FinalUsable() float64 {
+	if len(e.UsableByDay) == 0 {
+		return 0
+	}
+	return e.UsableByDay[len(e.UsableByDay)-1]
+}
+
+// BridgeConfig parameterizes an evaluation.
+type BridgeConfig struct {
+	// Day is the distribution day.
+	Day int
+	// HorizonDays is how many days of survival to track (Day+Horizon
+	// must stay within the network's study window).
+	HorizonDays int
+	// Bridges is how many bridges to hand out per strategy.
+	Bridges int
+	// CensorRouters is the censor fleet size. The default of 6 is the
+	// paper's "90% blocking with only six routers" adversary; at 20
+	// routers even introducer paths saturate and every strategy collapses
+	// toward zero, which is exactly the escalation Section 7.1 warns
+	// about.
+	CensorRouters int
+	// IntroducersPerBridge is how many introducers a firewalled bridge
+	// publishes.
+	IntroducersPerBridge int
+	// Seed drives selection.
+	Seed uint64
+}
+
+// DefaultBridgeConfig returns the configuration used by the bench.
+func DefaultBridgeConfig() BridgeConfig {
+	return BridgeConfig{
+		Day:                  5,
+		HorizonDays:          10,
+		Bridges:              50,
+		CensorRouters:        6,
+		IntroducersPerBridge: 3,
+		Seed:                 1,
+	}
+}
+
+// EvaluateBridges runs every strategy against a censor with the given
+// blacklist window and returns one evaluation per strategy.
+func EvaluateBridges(network *sim.Network, windowDays int, cfg BridgeConfig) ([]BridgeEvaluation, error) {
+	if cfg.Day+cfg.HorizonDays >= network.Days() {
+		return nil, fmt.Errorf("censor: bridge horizon (day %d + %d) exceeds network days (%d)",
+			cfg.Day, cfg.HorizonDays, network.Days())
+	}
+	cz, err := NewCensor(network, cfg.CensorRouters, windowDays, cfg.Seed+500)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xBF58476D1CE4E5B9))
+
+	// Candidate pools at distribution day.
+	var knownIP, newlyJoined, firewalled []int
+	for _, idx := range network.ActivePeers(cfg.Day) {
+		p := network.Peers[idx]
+		switch p.Status {
+		case sim.StatusKnownIP:
+			knownIP = append(knownIP, idx)
+			if p.FirstActiveDay() >= cfg.Day-1 {
+				newlyJoined = append(newlyJoined, idx)
+			}
+		case sim.StatusFirewalled, sim.StatusToggling:
+			firewalled = append(firewalled, idx)
+		}
+	}
+
+	pools := map[BridgeStrategy][]int{
+		BridgeRandom:      knownIP,
+		BridgeNewlyJoined: newlyJoined,
+		BridgeFirewalled:  firewalled,
+		BridgeCombined:    append(append([]int(nil), newlyJoined...), firewalled...),
+	}
+
+	var out []BridgeEvaluation
+	for _, strat := range []BridgeStrategy{BridgeRandom, BridgeNewlyJoined, BridgeFirewalled, BridgeCombined} {
+		pool := pools[strat]
+		ev := BridgeEvaluation{Strategy: strat, PoolSize: len(pool)}
+		if len(pool) == 0 {
+			out = append(out, ev)
+			continue
+		}
+		nSel := cfg.Bridges
+		if nSel > len(pool) {
+			nSel = len(pool)
+		}
+		perm := rng.Perm(len(pool))
+		selected := make([]int, 0, nSel)
+		for _, i := range perm[:nSel] {
+			selected = append(selected, pool[i])
+		}
+		ev.Selected = nSel
+
+		for d := 0; d <= cfg.HorizonDays; d++ {
+			day := cfg.Day + d
+			blocked := cz.BlockedPeerFunc(cfg.CensorRouters, day)
+			usable := 0
+			for _, idx := range selected {
+				if bridgeUsable(network, idx, day, blocked, cfg.IntroducersPerBridge, rng) {
+					usable++
+				}
+			}
+			ev.UsableByDay = append(ev.UsableByDay, float64(usable)/float64(nSel))
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// bridgeUsable reports whether a bridge peer can be used from behind the
+// firewall on the given day.
+func bridgeUsable(network *sim.Network, idx, day int, blocked func(int) bool, introducers int, rng *rand.Rand) bool {
+	p := network.Peers[idx]
+	if !p.ActiveOn(day) {
+		return false
+	}
+	switch p.Status {
+	case sim.StatusKnownIP:
+		return !blocked(idx)
+	case sim.StatusFirewalled, sim.StatusToggling:
+		// Reachable via an introducer: usable while at least one drawn
+		// introducer is itself unblocked.
+		pool := network.Introducers(day)
+		if len(pool) == 0 {
+			return false
+		}
+		for i := 0; i < introducers; i++ {
+			in := pool[rng.IntN(len(pool))]
+			if !blocked(in.Index) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

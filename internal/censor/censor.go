@@ -1,0 +1,283 @@
+// Package censor implements Section 6's probabilistic address-based
+// blocking model: a censor operating monitoring routers inside the network
+// compiles a blacklist of observed peer IP addresses (with a configurable
+// blacklist time window) and null-routes them; the blocking rate against a
+// stable victim client is the fraction of peer addresses in the victim's
+// netDb that appear on the blacklist. It also implements the Section 7
+// bridge-selection strategies (newly joined and firewalled peers) proposed
+// as mitigations.
+package censor
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+	"github.com/i2pstudy/i2pstudy/internal/stats"
+)
+
+// Censor models the adversary of Section 6.2.1: "(1) a group of monitoring
+// routers operated by a censor (e.g., ISP, government)".
+type Censor struct {
+	net       *sim.Network
+	observers []*sim.Observer
+	// WindowDays is the blacklist time window: an address stays blocked
+	// for this many days after last being observed (the paper evaluates
+	// 1, 5, 10, 20 and 30 days).
+	WindowDays int
+}
+
+// NewCensor creates a censor running `routers` monitoring routers, split
+// between floodfill and non-floodfill mode like the paper's fleet, with
+// the given blacklist window.
+func NewCensor(network *sim.Network, routers, windowDays int, seedBase uint64) (*Censor, error) {
+	if routers <= 0 {
+		return nil, fmt.Errorf("censor: need at least one monitoring router")
+	}
+	if windowDays <= 0 {
+		windowDays = 1
+	}
+	c := &Censor{net: network, WindowDays: windowDays}
+	for i := 0; i < routers; i++ {
+		c.observers = append(c.observers, network.NewObserver(sim.ObserverConfig{
+			Name:       fmt.Sprintf("censor-%02d", i),
+			Floodfill:  i%2 == 0,
+			SharedKBps: sim.MaxSharedKBps,
+			Seed:       seedBase + uint64(i),
+		}))
+	}
+	return c, nil
+}
+
+// Routers returns the number of monitoring routers.
+func (c *Censor) Routers() int { return len(c.observers) }
+
+// addObservedIPs adds to `out` the IPv4/IPv6 addresses of peers observed
+// by one monitoring router on one day. Peers without published addresses
+// (firewalled, hidden) contribute nothing — they cannot be address-blocked
+// (Section 7.1).
+func (c *Censor) addObservedIPs(out map[netip.Addr]bool, router, day int) {
+	o := c.observers[router]
+	for _, idx := range o.ObserveDay(day) {
+		p := c.net.Peers[idx]
+		v4, v6 := p.AddrOnDay(day)
+		if p.Status == sim.StatusKnownIP && v4.IsValid() {
+			out[v4] = true
+			if v6.IsValid() {
+				out[v6] = true
+			}
+		}
+	}
+}
+
+// observedIPs returns the addresses observed by the first k monitoring
+// routers on one day.
+func (c *Censor) observedIPs(k, day int) map[netip.Addr]bool {
+	out := make(map[netip.Addr]bool)
+	if k > len(c.observers) {
+		k = len(c.observers)
+	}
+	for i := 0; i < k; i++ {
+		c.addObservedIPs(out, i, day)
+	}
+	return out
+}
+
+// BlacklistAt compiles the blacklist in force on `day` using the first k
+// monitoring routers: the union of addresses observed in the window
+// (day-WindowDays, day].
+func (c *Censor) BlacklistAt(k, day int) map[netip.Addr]bool {
+	bl := make(map[netip.Addr]bool)
+	start := day - c.WindowDays + 1
+	if start < 0 {
+		start = 0
+	}
+	for d := start; d <= day; d++ {
+		for ip := range c.observedIPs(k, d) {
+			bl[ip] = true
+		}
+	}
+	return bl
+}
+
+// Victim models the client the censor wants to cut off: "a long-term I2P
+// node who has been participating in the network and has many RouterInfos
+// in its netDb" (Section 6.2.2). Its netDb accumulates the peers a
+// client-grade router learns over the last few days.
+type Victim struct {
+	net *sim.Network
+	obs *sim.Observer
+	// NetDbWindowDays is how many trailing days of observations remain in
+	// the victim's netDb. Non-floodfill routers expire RouterInfos after a
+	// day (netdb.DefaultRouterInfoExpiry) but keep records on disk across
+	// restarts, so a long-term client holds today's view plus a partially
+	// stale tail; the default of 2 models that. Part of the tail belongs
+	// to peers already offline, which a short blacklist window can never
+	// cover — one of the two reasons wider windows raise blocking rates
+	// (the other being accumulation over rotating addresses).
+	NetDbWindowDays int
+}
+
+// NewVictim creates the stable client. It observes as an ordinary
+// non-floodfill router with solid home bandwidth.
+func NewVictim(network *sim.Network, seed uint64) *Victim {
+	return &Victim{
+		net: network,
+		obs: network.NewObserver(sim.ObserverConfig{
+			Name:       "victim",
+			Floodfill:  false,
+			SharedKBps: 512,
+			Seed:       seed,
+		}),
+		NetDbWindowDays: 2,
+	}
+}
+
+// retainStale reports whether a record observed on a *previous* day
+// survives the 24-hour RouterInfo expiry into the victim's current netDb.
+// Roughly half do: records refreshed late in the day outlive the pruning
+// pass. The decision is deterministic per (peer, observation day).
+func retainStale(idx, d int) bool {
+	x := uint64(idx)*2654435761 + uint64(d)*40503 + 12345
+	x ^= x >> 13
+	return x%2 == 0
+}
+
+// KnownAddresses returns the peer addresses in the victim's netDb on
+// `day`: for every peer observed within the netDb window (today fully,
+// earlier days subject to expiry), the address the peer published on the
+// observation day.
+func (v *Victim) KnownAddresses(day int) map[netip.Addr]bool {
+	out := make(map[netip.Addr]bool)
+	start := day - v.NetDbWindowDays + 1
+	if start < 0 {
+		start = 0
+	}
+	for d := start; d <= day; d++ {
+		for _, idx := range v.obs.ObserveDay(d) {
+			if d < day && !retainStale(idx, d) {
+				continue
+			}
+			p := v.net.Peers[idx]
+			if p.Status != sim.StatusKnownIP {
+				continue
+			}
+			v4, v6 := p.AddrOnDay(d)
+			if v4.IsValid() {
+				out[v4] = true
+			}
+			if v6.IsValid() {
+				out[v6] = true
+			}
+		}
+	}
+	return out
+}
+
+// KnownPeers returns the peer indexes in the victim's netDb on `day`
+// (all statuses), used by the usability and bridge experiments.
+func (v *Victim) KnownPeers(day int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	start := day - v.NetDbWindowDays + 1
+	if start < 0 {
+		start = 0
+	}
+	for d := start; d <= day; d++ {
+		for _, idx := range v.obs.ObserveDay(d) {
+			if d < day && !retainStale(idx, d) {
+				continue
+			}
+			if !seen[idx] {
+				seen[idx] = true
+				out = append(out, idx)
+			}
+		}
+	}
+	return out
+}
+
+// BlockingRate computes the Section 6.2.1 metric on `day` with the first k
+// censor routers: "the rate of peer IP addresses seen in the netDb of the
+// victim, which can also be found in the netDb of routers that are
+// controlled by the censor".
+func BlockingRate(c *Censor, v *Victim, k, day int) float64 {
+	victimIPs := v.KnownAddresses(day)
+	if len(victimIPs) == 0 {
+		return 0
+	}
+	blacklist := c.BlacklistAt(k, day)
+	blocked := 0
+	for ip := range victimIPs {
+		if blacklist[ip] {
+			blocked++
+		}
+	}
+	return float64(blocked) / float64(len(victimIPs))
+}
+
+// BlockedPeerFunc returns a predicate over peer indexes: whether the
+// peer's current address is on the blacklist on `day`. Peers without
+// addresses are never blocked.
+func (c *Censor) BlockedPeerFunc(k, day int) func(peerIdx int) bool {
+	blacklist := c.BlacklistAt(k, day)
+	return func(idx int) bool {
+		p := c.net.Peers[idx]
+		v4, v6 := p.AddrOnDay(day)
+		if v4.IsValid() && blacklist[v4] {
+			return true
+		}
+		if v6.IsValid() && blacklist[v6] {
+			return true
+		}
+		return false
+	}
+}
+
+// Figure13 sweeps censor fleet sizes and blacklist windows, producing one
+// series per window, each giving the cumulative blocking rate (percent)
+// versus the number of monitoring routers — the paper's Figure 13.
+func Figure13(network *sim.Network, maxRouters int, windows []int, day int, seedBase uint64) (*stats.Figure, error) {
+	if len(windows) == 0 {
+		windows = []int{1, 5, 10, 20, 30}
+	}
+	fig := &stats.Figure{
+		Title:  "Figure 13: Blocking rates under different blacklist time windows",
+		XLabel: "routers under censor control",
+		YLabel: "blocking rate (%)",
+	}
+	victim := NewVictim(network, seedBase+10_000)
+	victimIPs := victim.KnownAddresses(day)
+	for _, w := range windows {
+		c, err := NewCensor(network, maxRouters, w, seedBase)
+		if err != nil {
+			return nil, err
+		}
+		s := fig.AddSeries(fmt.Sprintf("%d day", w))
+		// Build the blacklist incrementally: adding router k extends the
+		// union, so the whole series costs one pass per router per window
+		// day instead of re-scanning for every fleet size.
+		start := day - w + 1
+		if start < 0 {
+			start = 0
+		}
+		bl := make(map[netip.Addr]bool)
+		for k := 1; k <= maxRouters; k++ {
+			for d := start; d <= day; d++ {
+				c.addObservedIPs(bl, k-1, d)
+			}
+			blocked := 0
+			for ip := range victimIPs {
+				if bl[ip] {
+					blocked++
+				}
+			}
+			rate := 0.0
+			if len(victimIPs) > 0 {
+				rate = float64(blocked) / float64(len(victimIPs))
+			}
+			s.Append(float64(k), 100*rate)
+		}
+	}
+	return fig, nil
+}

@@ -1,0 +1,107 @@
+package censor
+
+import (
+	"fmt"
+
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+	"github.com/i2pstudy/i2pstudy/internal/stats"
+)
+
+// This file implements the Section 7.2 escalation: "after blocking more
+// than 95% of active peers in the network, the attacker can inject
+// malicious routers ... the victim is bootstrapped into the attacker's
+// network", the stepping stone to traffic-analysis deanonymization. The
+// experiment measures how much of the victim's *usable* view the attacker
+// controls as blocking tightens.
+
+// EclipseResult reports one eclipse evaluation.
+type EclipseResult struct {
+	// CensorRouters is the monitoring fleet size used for the blacklist.
+	CensorRouters int
+	// Injected is how many attacker routers were whitelisted.
+	Injected int
+	// UsablePeers is how many netDb entries remain reachable for the
+	// victim (unblocked honest peers + attacker routers).
+	UsablePeers int
+	// AttackerShare is the fraction of the victim's usable view that the
+	// attacker controls — the eclipse metric.
+	AttackerShare float64
+	// TunnelCompromiseP2 approximates the probability that both selected
+	// tunnel direct-contacts are attacker-controlled under uniform
+	// selection from the usable view.
+	TunnelCompromiseP2 float64
+}
+
+// EclipseAttack evaluates the Section 7.2 scenario on one day: the censor
+// runs `censorRouters` monitors with the given blacklist window, blocks
+// every observed peer address, and injects `injected` attacker routers
+// that its firewall whitelists. The victim can only use unblocked peers,
+// so the attacker's share of its usable view grows with the blocking rate.
+func EclipseAttack(network *sim.Network, censorRouters, windowDays, injected, day int, seed uint64) (EclipseResult, error) {
+	cz, err := NewCensor(network, censorRouters, windowDays, seed)
+	if err != nil {
+		return EclipseResult{}, err
+	}
+	victim := NewVictim(network, seed+10_000)
+	blocked := cz.BlockedPeerFunc(censorRouters, day)
+
+	usableHonest := 0
+	for _, idx := range victim.KnownPeers(day) {
+		p := network.Peers[idx]
+		// Only peers with contactable addresses matter for tunnels.
+		if p.Status != sim.StatusKnownIP {
+			continue
+		}
+		if !blocked(idx) {
+			usableHonest++
+		}
+	}
+	usable := usableHonest + injected
+	res := EclipseResult{
+		CensorRouters: censorRouters,
+		Injected:      injected,
+		UsablePeers:   usable,
+	}
+	if usable > 0 {
+		res.AttackerShare = float64(injected) / float64(usable)
+		res.TunnelCompromiseP2 = res.AttackerShare * res.AttackerShare
+	}
+	return res, nil
+}
+
+// EclipseSweep evaluates the attack across censor fleet sizes, producing
+// the attacker-share curve.
+func EclipseSweep(network *sim.Network, fleets []int, windowDays, injected, day int, seed uint64) (*stats.Figure, []EclipseResult, error) {
+	fig := &stats.Figure{
+		Title:  "Section 7.2: attacker share of the victim's usable view",
+		XLabel: "censor routers",
+		YLabel: "share",
+	}
+	shareS := fig.AddSeries("attacker share")
+	compS := fig.AddSeries("P(both direct contacts malicious)")
+	var results []EclipseResult
+	for _, k := range fleets {
+		res, err := EclipseAttack(network, k, windowDays, injected, day, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		shareS.Append(float64(k), res.AttackerShare)
+		compS.Append(float64(k), res.TunnelCompromiseP2)
+	}
+	return fig, results, nil
+}
+
+// RenderEclipse renders the sweep as a table.
+func RenderEclipse(results []EclipseResult) string {
+	rows := [][]string{{"censor routers", "usable peers", "attacker share", "P(tunnel ends malicious)"}}
+	for _, r := range results {
+		rows = append(rows, []string{
+			fmt.Sprint(r.CensorRouters),
+			fmt.Sprint(r.UsablePeers),
+			fmt.Sprintf("%.2f", r.AttackerShare),
+			fmt.Sprintf("%.3f", r.TunnelCompromiseP2),
+		})
+	}
+	return stats.RenderTable(rows)
+}

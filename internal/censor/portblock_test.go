@@ -1,0 +1,53 @@
+package censor
+
+import "testing"
+
+func TestEvaluatePortBlocking(t *testing.T) {
+	res := EvaluatePortBlocking(100_000, 10_000, 1)
+
+	// Every I2P peer port falls in the blocked range by construction.
+	if res.I2PBlockedPct != 100 {
+		t.Fatalf("I2P blocked = %.1f%%, want 100%%", res.I2PBlockedPct)
+	}
+	// The paper's point: collateral damage is substantial, not marginal.
+	if res.CollateralPct < 3 || res.CollateralPct > 30 {
+		t.Fatalf("collateral = %.1f%%, want meaningful single-to-double digits", res.CollateralPct)
+	}
+	// The web itself must remain unaffected (443/80 are outside the range).
+	if res.CollateralByApp["https"] != 0 || res.CollateralByApp["http"] != 0 {
+		t.Fatal("https/http flows blocked by the I2P port range")
+	}
+	// WebRTC media ports overlap the range heavily; the census must show it.
+	if res.CollateralByApp["webrtc-media"] < 50 {
+		t.Fatalf("webrtc collateral = %.1f%%, want > 50%% (16384-32767 overlaps 9000-31000)", res.CollateralByApp["webrtc-media"])
+	}
+	// Steam's 27015-27050 sits inside the range entirely.
+	if res.CollateralByApp["game-steam"] != 100 {
+		t.Fatalf("steam collateral = %.1f%%, want 100%%", res.CollateralByApp["game-steam"])
+	}
+	// BitTorrent's default 6881-6999 sits below the range.
+	if res.CollateralByApp["bittorrent"] != 0 {
+		t.Fatalf("bittorrent collateral = %.1f%%, want 0%%", res.CollateralByApp["bittorrent"])
+	}
+}
+
+func TestEvaluatePortBlockingDeterministic(t *testing.T) {
+	a := EvaluatePortBlocking(50_000, 5_000, 7)
+	b := EvaluatePortBlocking(50_000, 5_000, 7)
+	if a.CollateralPct != b.CollateralPct || a.I2PBlockedPct != b.I2PBlockedPct {
+		t.Fatal("port blocking evaluation not deterministic")
+	}
+}
+
+func TestEvaluatePortBlockingEmpty(t *testing.T) {
+	res := EvaluatePortBlocking(0, 0, 1)
+	if res.CollateralPct != 0 || res.I2PBlockedPct != 0 {
+		t.Fatal("empty evaluation should be zero")
+	}
+}
+
+func TestAddressBlockingCollateralIsZero(t *testing.T) {
+	if got := EvaluateAddressBlockingCollateral(nil); got != 0 {
+		t.Fatalf("address blocking collateral = %v, want 0", got)
+	}
+}

@@ -1,0 +1,50 @@
+package churn
+
+// LongestRun returns the length of the longest consecutive run of true
+// values: the paper's "continuously in the network for n days" statistic
+// asks whether this is at least n.
+func LongestRun(presence []bool) int {
+	best, cur := 0, 0
+	for _, on := range presence {
+		if on {
+			cur++
+			if cur > best {
+				best = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	return best
+}
+
+// SpanDays returns the inclusive distance between the first and last true
+// values: the paper's "intermittently in the network for n days" statistic
+// asks whether this is at least n. It returns 0 when the peer was never
+// seen.
+func SpanDays(presence []bool) int {
+	first, last := -1, -1
+	for i, on := range presence {
+		if on {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		return 0
+	}
+	return last - first + 1
+}
+
+// DaysOnline returns the number of true values.
+func DaysOnline(presence []bool) int {
+	n := 0
+	for _, on := range presence {
+		if on {
+			n++
+		}
+	}
+	return n
+}

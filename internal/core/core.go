@@ -1,0 +1,177 @@
+// Package core ties the substrates together into the paper's study: one
+// Study object owns a synthetic network, runs the main measurement
+// campaign, and exposes a registry of experiments — one per table and
+// figure in the paper's evaluation — each returning a rendered artifact
+// plus the headline metrics recorded in EXPERIMENTS.md.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/i2pstudy/i2pstudy/internal/measure"
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+	"github.com/i2pstudy/i2pstudy/internal/stats"
+)
+
+// Options configures a Study.
+type Options struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Days is the study horizon. The paper ran ~90 days; experiments need
+	// at least 40 (Figure 13's 30-day blacklist window plus slack).
+	Days int
+	// TargetDailyPeers scales the network. The paper's network had ~30.5K
+	// daily peers; benches default to a 1/10-scale network, which
+	// preserves every shape statistic.
+	TargetDailyPeers int
+	// MainFleetSize is the number of observers in the main campaign (the
+	// paper used 20: 10 floodfill + 10 non-floodfill).
+	MainFleetSize int
+}
+
+// DefaultOptions returns the 1/10-scale configuration used by tests and
+// benches.
+func DefaultOptions() Options {
+	return Options{Seed: 2018, Days: 45, TargetDailyPeers: 3050, MainFleetSize: 20}
+}
+
+// FullScaleOptions returns the paper-scale configuration (30.5K daily
+// peers, 90 days). Building it takes a few seconds and a few hundred MB.
+func FullScaleOptions() Options {
+	return Options{Seed: 2018, Days: 90, TargetDailyPeers: 30500, MainFleetSize: 20}
+}
+
+// Study owns a network and caches the main campaign's dataset so that the
+// population experiments (Figures 5–12, Table 1) share one run, exactly as
+// the paper derived all of Section 5 from one three-month campaign.
+type Study struct {
+	Opts Options
+	Net  *sim.Network
+
+	mu      sync.Mutex
+	dataset *measure.Dataset
+}
+
+// NewStudy builds the network for the given options.
+func NewStudy(opts Options) (*Study, error) {
+	if opts.Days < 40 {
+		return nil, fmt.Errorf("core: need at least 40 days for the blacklist-window experiments, got %d", opts.Days)
+	}
+	if opts.MainFleetSize <= 0 {
+		opts.MainFleetSize = 20
+	}
+	net, err := sim.New(sim.Config{
+		Seed:             opts.Seed,
+		Days:             opts.Days,
+		TargetDailyPeers: opts.TargetDailyPeers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Study{Opts: opts, Net: net}, nil
+}
+
+// Scale returns the study's size relative to the paper's ~30.5K daily
+// peers; multiply reported counts by 1/Scale to compare against the paper.
+func (s *Study) Scale() float64 {
+	return float64(s.Opts.TargetDailyPeers) / 30500
+}
+
+// MainDataset runs (once) and returns the main campaign: MainFleetSize
+// observers, alternating modes, full horizon.
+func (s *Study) MainDataset() (*measure.Dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dataset != nil {
+		return s.dataset, nil
+	}
+	c, err := measure.NewCampaign(s.Net, measure.CampaignConfig{
+		Observers: measure.DefaultObserverFleet(s.Opts.MainFleetSize),
+		StartDay:  0,
+		EndDay:    s.Opts.Days,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds, err := c.Run()
+	if err != nil {
+		return nil, err
+	}
+	s.dataset = ds
+	return ds, nil
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID and Title identify the experiment.
+	ID, Title string
+	// Paper summarizes what the paper reports for this artifact.
+	Paper string
+	// Text is the rendered table/series (the regenerated artifact).
+	Text string
+	// Figure, when non-nil, is the structured series behind Text; the CLI
+	// tools export it as CSV.
+	Figure *stats.Figure
+	// Metrics carries the headline numbers for EXPERIMENTS.md and the
+	// bench harness.
+	Metrics map[string]float64
+}
+
+// Experiment maps one paper artifact to a runnable.
+type Experiment struct {
+	// ID is the registry key, e.g. "figure-05" or "table-01".
+	ID string
+	// Title is the paper's caption, abbreviated.
+	Title string
+	// Paper summarizes the expected result from the paper.
+	Paper string
+	// Run executes the experiment against a study.
+	Run func(*Study) (*Result, error)
+}
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]Experiment{}
+)
+
+// register adds an experiment to the registry; duplicate IDs panic (they
+// are programming errors).
+func register(e Experiment) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[e.ID]; dup {
+		panic("core: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Experiments returns all registered experiments sorted by ID.
+func Experiments() []Experiment {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	e, ok := registry[id]
+	return e, ok
+}
+
+// RunExperiment looks up and runs one experiment.
+func (s *Study) RunExperiment(id string) (*Result, error) {
+	e, ok := Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown experiment %q", id)
+	}
+	return e.Run(s)
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+var sharedStudy *Study
+
+func study(t testing.TB) *Study {
+	t.Helper()
+	if sharedStudy != nil {
+		return sharedStudy
+	}
+	opts := DefaultOptions()
+	opts.TargetDailyPeers = 2000 // keep the suite fast
+	s, err := NewStudy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedStudy = s
+	return s
+}
+
+func TestNewStudyValidation(t *testing.T) {
+	if _, err := NewStudy(Options{Days: 10, TargetDailyPeers: 100}); err == nil {
+		t.Fatal("too-short study accepted")
+	}
+	opts := DefaultOptions()
+	opts.MainFleetSize = 0
+	s, err := NewStudy(Options{Seed: 1, Days: 45, TargetDailyPeers: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Opts.MainFleetSize != 20 {
+		t.Fatalf("fleet default = %d, want 20", s.Opts.MainFleetSize)
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := study(t)
+	want := 2000.0 / 30500.0
+	if got := s.Scale(); got < want*0.99 || got > want*1.01 {
+		t.Fatalf("scale = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact must have an experiment.
+	want := []string{
+		"figure-02", "figure-03", "figure-04", "figure-05", "figure-06",
+		"figure-07", "figure-08", "figure-09", "figure-10", "figure-11",
+		"figure-12", "figure-13", "figure-14", "table-01",
+		"estimate-floodfill", "reseed-blocking", "bridge-strategies",
+		"dpi-fingerprinting", "port-blocking", "eclipse-attack",
+		"ablation-observer-mix", "ablation-flood-fanout",
+	}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	// Sorted by ID.
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID >= got[i].ID {
+			t.Fatal("experiments not sorted")
+		}
+	}
+	// Every experiment documents the paper's expectation.
+	for _, e := range got {
+		if e.Paper == "" || e.Title == "" {
+			t.Errorf("experiment %q lacks title/paper text", e.ID)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	s := study(t)
+	if _, err := s.RunExperiment("figure-99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestMainDatasetCached(t *testing.T) {
+	s := study(t)
+	a, err := s.MainDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.MainDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("dataset not cached")
+	}
+}
+
+// TestAllExperimentsRun executes the entire registry once and validates
+// the shared invariants: non-empty artifact text and populated metrics.
+func TestAllExperimentsRun(t *testing.T) {
+	s := study(t)
+	for _, e := range Experiments() {
+		res, err := e.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if res.ID != e.ID {
+			t.Errorf("%s: result ID %q", e.ID, res.ID)
+		}
+		if strings.TrimSpace(res.Text) == "" {
+			t.Errorf("%s: empty artifact text", e.ID)
+		}
+		if len(res.Metrics) == 0 {
+			t.Errorf("%s: no metrics", e.ID)
+		}
+		for k, v := range res.Metrics {
+			if v != v { // NaN
+				t.Errorf("%s: metric %s is NaN", e.ID, k)
+			}
+		}
+	}
+}
+
+// TestKeyShapeMetrics spot-checks the paper's headline shapes end to end
+// through the registry.
+func TestKeyShapeMetrics(t *testing.T) {
+	s := study(t)
+
+	f2, err := s.RunExperiment("figure-02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Metrics["nonff_over_ff"] <= 1.0 {
+		t.Errorf("figure-02: non-ff should beat ff at 8MB/s, ratio %.3f", f2.Metrics["nonff_over_ff"])
+	}
+	if cov := f2.Metrics["coverage_of_actives"]; cov < 0.40 || cov > 0.62 {
+		t.Errorf("figure-02: coverage %.2f, want ~0.5", cov)
+	}
+
+	f3, err := s.RunExperiment("figure-03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3.Metrics["ff_advantage_at_128"] <= 0 {
+		t.Error("figure-03: floodfill must win at 128 KB/s")
+	}
+	if f3.Metrics["nonff_advantage_at_5mb"] <= 0 {
+		t.Error("figure-03: non-floodfill must win at 5 MB/s")
+	}
+	if f3.Metrics["union_spread_ratio"] > 0.2 {
+		t.Errorf("figure-03: union spread %.2f, want flat", f3.Metrics["union_spread_ratio"])
+	}
+
+	f4, err := s.RunExperiment("figure-04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share := f4.Metrics["share_at_20"]; share < 0.90 {
+		t.Errorf("figure-04: 20-router share = %.3f, want >= 0.90 (paper 95.5%%)", share)
+	}
+
+	f13, err := s.RunExperiment("figure-13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := f13.Metrics["rate_6routers_1day"]; r < 80 {
+		t.Errorf("figure-13: 6-router rate = %.1f%%, want ~90%%", r)
+	}
+	if r := f13.Metrics["rate_20routers_30day"]; r < 93 {
+		t.Errorf("figure-13: 20-router/30-day rate = %.1f%%, want ~98%%", r)
+	}
+
+	f14, err := s.RunExperiment("figure-14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to := f14.Metrics["timeout_65_pct"]; to < 20 || to > 70 {
+		t.Errorf("figure-14: timeouts at 65%% = %.1f%%, want ~40%%", to)
+	}
+	if to := f14.Metrics["timeout_95_pct"]; to < 85 {
+		t.Errorf("figure-14: timeouts at 95%% = %.1f%%, want 95-100%%", to)
+	}
+	if l := f14.Metrics["load_unblocked_s"]; l < 3 || l > 6 {
+		t.Errorf("figure-14: unblocked load = %.1fs, want ~3.4-4.4s", l)
+	}
+
+	dpi, err := s.RunExperiment("dpi-fingerprinting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dpi.Metrics["ntcp_detection_rate"] != 1 {
+		t.Errorf("dpi: NTCP detection = %v, want 1", dpi.Metrics["ntcp_detection_rate"])
+	}
+	if dpi.Metrics["ntcp2_detection_rate"] > 0.4 {
+		t.Errorf("dpi: NTCP2 detection = %v, want ~0", dpi.Metrics["ntcp2_detection_rate"])
+	}
+
+	ff, err := s.RunExperiment("ablation-flood-fanout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flooding goes to the floodfills *closest to the holder*, which under
+	// the XOR metric cluster around the record key, so replication grows
+	// slowly (non-strictly) with fan-out.
+	if !(ff.Metrics["replicas_fanout_1"] <= ff.Metrics["replicas_fanout_3"] &&
+		ff.Metrics["replicas_fanout_3"] <= ff.Metrics["replicas_fanout_8"] &&
+		ff.Metrics["replicas_fanout_1"] < ff.Metrics["replicas_fanout_8"]) {
+		t.Error("flood fan-out must not decrease replication")
+	}
+
+	mix, err := s.RunExperiment("ablation-observer-mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Metrics["mixed"] <= mix.Metrics["all_ff"]*0.98 {
+		t.Errorf("mixed fleet (%v) should match or beat all-floodfill (%v)",
+			mix.Metrics["mixed"], mix.Metrics["all_ff"])
+	}
+}

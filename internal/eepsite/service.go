@@ -1,0 +1,216 @@
+package eepsite
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+	"github.com/i2pstudy/i2pstudy/internal/tunnel"
+)
+
+// This file implements the paper's Figure 1 end to end: Alice reaches
+// Bob's eepsite through four unidirectional tunnels, with garlic-wrapped
+// requests carrying their own reply instructions and every tunnel applying
+// real layered encryption. The Fetch/Crawl path in eepsite.go models
+// *timing* under blocking; this path exercises the *data plane*.
+
+// Server hosts eepsite content behind an inbound tunnel.
+type Server struct {
+	Site    *Site
+	content map[string][]byte
+
+	inbound  *tunnel.Tunnel
+	outbound *tunnel.Tunnel
+}
+
+// NewServer hosts the site with a default index page (the paper used "a
+// simple and small html file").
+func NewServer(site *Site) *Server {
+	s := &Server{Site: site, content: make(map[string][]byte)}
+	s.SetContent("/", []byte("<html><body>eepsite up</body></html>"))
+	return s
+}
+
+// SetContent installs a page at path.
+func (s *Server) SetContent(path string, body []byte) {
+	s.content[path] = body
+}
+
+// AttachTunnels installs the server's current inbound and outbound
+// tunnels (built by a tunnel.Pool).
+func (s *Server) AttachTunnels(in, out *tunnel.Tunnel) {
+	s.inbound, s.outbound = in, out
+}
+
+// LeaseSet publishes the server's inbound gateway, as Bob's LeaseSet does
+// in Section 2.1.2.
+func (s *Server) LeaseSet(now time.Time) (*netdb.LeaseSet, error) {
+	if s.inbound == nil {
+		return nil, errors.New("eepsite: no inbound tunnel attached")
+	}
+	return &netdb.LeaseSet{
+		Destination: s.Site.Dest,
+		Published:   now,
+		Leases: []netdb.Lease{{
+			Gateway:  s.inbound.Gateway(),
+			TunnelID: s.inbound.ID,
+			Expires:  s.inbound.Expires,
+		}},
+	}, nil
+}
+
+// Request/response payloads use a minimal HTTP-like text form.
+const (
+	statusOK       = "200 OK"
+	statusNotFound = "404 Not Found"
+)
+
+// replyBlock is the clove telling the responder where to send the answer:
+// the requester's inbound tunnel gateway and ID.
+func replyBlock(inbound *tunnel.Tunnel) []byte {
+	return []byte(fmt.Sprintf("reply-to %s %d", inbound.Gateway().String(), inbound.ID))
+}
+
+// BuildRequest assembles and layer-encrypts a GET request for the
+// requester's outbound tunnel: a garlic message bundling the HTTP payload
+// (for the destination) and the reply block, wrapped for every hop of the
+// outbound tunnel.
+func BuildRequest(dest netdb.Hash, path string, out, in *tunnel.Tunnel) ([]byte, error) {
+	g := &tunnel.GarlicMessage{Cloves: []tunnel.Clove{
+		{Kind: tunnel.DeliverDestination, To: dest, Payload: []byte("GET " + path)},
+		{Kind: tunnel.DeliverLocal, Payload: replyBlock(in)},
+	}}
+	encoded, err := g.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return tunnel.WrapLayers(out, encoded), nil
+}
+
+// HandleRequest is the server side: the request has traversed the
+// client's outbound tunnel and the server's inbound tunnel (the caller
+// performs the traversals, as the hops would); the server decodes the
+// garlic, serves the path and returns the response garlic wrapped for its
+// own outbound tunnel.
+func (s *Server) HandleRequest(garlicData []byte) ([]byte, error) {
+	if s.outbound == nil {
+		return nil, errors.New("eepsite: no outbound tunnel attached")
+	}
+	g, err := tunnel.DecodeGarlic(garlicData)
+	if err != nil {
+		return nil, err
+	}
+	var request []byte
+	var reply []byte
+	for _, clove := range g.Cloves {
+		switch clove.Kind {
+		case tunnel.DeliverDestination:
+			if clove.To == s.Site.Dest {
+				request = clove.Payload
+			}
+		case tunnel.DeliverLocal:
+			reply = clove.Payload
+		}
+	}
+	if request == nil {
+		return nil, errors.New("eepsite: no request clove for this destination")
+	}
+	if reply == nil {
+		return nil, errors.New("eepsite: request carried no reply block")
+	}
+
+	var body []byte
+	status := statusNotFound
+	if path, ok := bytes.CutPrefix(request, []byte("GET ")); ok {
+		if content, found := s.content[string(path)]; found {
+			status = statusOK
+			body = content
+		}
+	}
+	respPayload := append([]byte(status+"\n"), body...)
+	resp := &tunnel.GarlicMessage{Cloves: []tunnel.Clove{
+		{Kind: tunnel.DeliverRouter, To: mustReplyGateway(reply), Payload: respPayload},
+	}}
+	encoded, err := resp.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return tunnel.WrapLayers(s.outbound, encoded), nil
+}
+
+// mustReplyGateway extracts the gateway hash from a reply block; a
+// malformed block yields the zero hash, which no router matches.
+func mustReplyGateway(reply []byte) netdb.Hash {
+	var b32 string
+	var id uint32
+	if _, err := fmt.Sscanf(string(reply), "reply-to %s %d", &b32, &id); err != nil {
+		return netdb.Hash{}
+	}
+	h, err := netdb.ParseHash(b32)
+	if err != nil {
+		return netdb.Hash{}
+	}
+	return h
+}
+
+// ParseResponse decodes the response garlic after it has traversed the
+// requester's inbound tunnel, returning status line and body.
+func ParseResponse(garlicData []byte) (status string, body []byte, err error) {
+	g, err := tunnel.DecodeGarlic(garlicData)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(g.Cloves) == 0 {
+		return "", nil, errors.New("eepsite: empty response garlic")
+	}
+	payload := g.Cloves[0].Payload
+	idx := bytes.IndexByte(payload, '\n')
+	if idx < 0 {
+		return string(payload), nil, nil
+	}
+	return string(payload[:idx]), payload[idx+1:], nil
+}
+
+// RoundTrip performs the complete Figure 1 exchange in-process: the
+// request crosses the client's outbound and the server's inbound tunnels,
+// the response crosses the server's outbound and the client's inbound
+// tunnels, with layered encryption applied and peeled at every step.
+func RoundTrip(srv *Server, path string, clientOut, clientIn *tunnel.Tunnel) (status string, body []byte, err error) {
+	if srv.inbound == nil || srv.outbound == nil {
+		return "", nil, errors.New("eepsite: server tunnels not attached")
+	}
+	// Client -> outbound tunnel.
+	wrapped, err := BuildRequest(srv.Site.Dest, path, clientOut, clientIn)
+	if err != nil {
+		return "", nil, err
+	}
+	atEndpoint, err := tunnel.TraverseTunnel(clientOut, wrapped)
+	if err != nil {
+		return "", nil, fmt.Errorf("eepsite: outbound traversal: %w", err)
+	}
+	// Inter-tunnel hop: the outbound endpoint forwards to the server's
+	// inbound gateway, which wraps the message into the inbound tunnel.
+	intoInbound := tunnel.WrapLayers(srv.inbound, atEndpoint)
+	atServer, err := tunnel.TraverseTunnel(srv.inbound, intoInbound)
+	if err != nil {
+		return "", nil, fmt.Errorf("eepsite: inbound traversal: %w", err)
+	}
+	// Server handles and responds through its outbound tunnel.
+	respWrapped, err := srv.HandleRequest(atServer)
+	if err != nil {
+		return "", nil, err
+	}
+	respAtEndpoint, err := tunnel.TraverseTunnel(srv.outbound, respWrapped)
+	if err != nil {
+		return "", nil, fmt.Errorf("eepsite: server outbound traversal: %w", err)
+	}
+	// Inter-tunnel hop back into the client's inbound tunnel.
+	intoClientIn := tunnel.WrapLayers(clientIn, respAtEndpoint)
+	atClient, err := tunnel.TraverseTunnel(clientIn, intoClientIn)
+	if err != nil {
+		return "", nil, fmt.Errorf("eepsite: client inbound traversal: %w", err)
+	}
+	return ParseResponse(atClient)
+}

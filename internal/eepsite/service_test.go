@@ -1,0 +1,191 @@
+package eepsite
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+	"github.com/i2pstudy/i2pstudy/internal/tunnel"
+)
+
+// buildTunnelPair builds an inbound and outbound tunnel for one party.
+func buildTunnelPair(t *testing.T, owner uint64, seed uint64) (in, out *tunnel.Tunnel) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^3))
+	pool := tunnel.NewPool(netdb.HashFromUint64(owner), tunnel.DefaultSelector(), &tunnel.Builder{}, 2)
+	now := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := pool.Maintain(candidates(60), now, rng); err != nil {
+		t.Fatal(err)
+	}
+	in, out = pool.Tunnels()
+	return in, out
+}
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	site := NewSite(netdb.HashFromUint64(5555))
+	srv := NewServer(site)
+	srv.SetContent("/page", []byte("hello from the eepsite"))
+	sIn, sOut := buildTunnelPair(t, 100, 11)
+	srv.AttachTunnels(sIn, sOut)
+	return srv
+}
+
+func TestRoundTripFigure1(t *testing.T) {
+	srv := testServer(t)
+	cIn, cOut := buildTunnelPair(t, 200, 22)
+
+	status, body, err := RoundTrip(srv, "/page", cOut, cIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "200 OK" {
+		t.Fatalf("status = %q", status)
+	}
+	if string(body) != "hello from the eepsite" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestRoundTripNotFound(t *testing.T) {
+	srv := testServer(t)
+	cIn, cOut := buildTunnelPair(t, 200, 22)
+	status, body, err := RoundTrip(srv, "/missing", cOut, cIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "404 Not Found" {
+		t.Fatalf("status = %q", status)
+	}
+	if len(body) != 0 {
+		t.Fatalf("404 carried a body: %q", body)
+	}
+}
+
+func TestRoundTripDefaultIndex(t *testing.T) {
+	srv := testServer(t)
+	cIn, cOut := buildTunnelPair(t, 200, 22)
+	status, body, err := RoundTrip(srv, "/", cOut, cIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "200 OK" || !strings.Contains(string(body), "eepsite up") {
+		t.Fatalf("index fetch wrong: %q %q", status, body)
+	}
+}
+
+func TestLeaseSetPublishesInboundGateway(t *testing.T) {
+	srv := testServer(t)
+	now := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+	ls, err := srv.LeaseSet(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Destination != srv.Site.Dest {
+		t.Fatal("destination mismatch")
+	}
+	if len(ls.Leases) != 1 || ls.Leases[0].Gateway != srv.inbound.Gateway() {
+		t.Fatal("lease does not point at the inbound gateway")
+	}
+	// The LeaseSet must survive the wire codec (what floodfills store).
+	data, err := ls.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netdb.DecodeLeaseSet(data); err != nil {
+		t.Fatal(err)
+	}
+
+	bare := NewServer(NewSite(netdb.HashFromUint64(1)))
+	if _, err := bare.LeaseSet(now); err == nil {
+		t.Fatal("lease set without inbound tunnel accepted")
+	}
+}
+
+func TestHandleRequestValidation(t *testing.T) {
+	srv := testServer(t)
+	if _, err := srv.HandleRequest([]byte("not garlic")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Garlic without a request clove for this destination.
+	g := &tunnel.GarlicMessage{Cloves: []tunnel.Clove{
+		{Kind: tunnel.DeliverDestination, To: netdb.HashFromUint64(1), Payload: []byte("GET /")},
+		{Kind: tunnel.DeliverLocal, Payload: []byte("reply-to x 1")},
+	}}
+	data, err := g.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.HandleRequest(data); err == nil {
+		t.Fatal("request for a different destination accepted")
+	}
+	// Request without a reply block.
+	g = &tunnel.GarlicMessage{Cloves: []tunnel.Clove{
+		{Kind: tunnel.DeliverDestination, To: srv.Site.Dest, Payload: []byte("GET /")},
+	}}
+	data, err = g.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.HandleRequest(data); err == nil {
+		t.Fatal("request without reply block accepted")
+	}
+	// Server without attached tunnels cannot respond.
+	bare := NewServer(NewSite(netdb.HashFromUint64(9)))
+	if _, err := bare.HandleRequest(data); err == nil {
+		t.Fatal("server without tunnels accepted a request")
+	}
+}
+
+// TestIntermediateHopsSeeCiphertext: no hop along the path sees the
+// request plaintext (the layered-encryption property of Section 2.1.1).
+func TestIntermediateHopsSeeCiphertext(t *testing.T) {
+	srv := testServer(t)
+	cIn, cOut := buildTunnelPair(t, 200, 22)
+	wrapped, err := BuildRequest(srv.Site.Dest, "/page", cOut, cIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := []byte("GET /page")
+	if strings.Contains(string(wrapped), string(plain)) {
+		t.Fatal("request visible at the outbound gateway")
+	}
+	// After the first hop peels its layer, the payload is still opaque.
+	afterHop0, err := tunnel.PeelLayer(cOut, 0, wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(afterHop0), string(plain)) {
+		t.Fatal("request visible after one hop")
+	}
+}
+
+func TestParseResponseErrors(t *testing.T) {
+	if _, _, err := ParseResponse([]byte("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+	empty := &tunnel.GarlicMessage{}
+	data, err := empty.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ParseResponse(data); err == nil {
+		t.Fatal("empty garlic accepted")
+	}
+}
+
+func TestMustReplyGateway(t *testing.T) {
+	in, _ := buildTunnelPair(t, 300, 33)
+	block := replyBlock(in)
+	if got := mustReplyGateway(block); got != in.Gateway() {
+		t.Fatal("gateway extraction failed")
+	}
+	if !mustReplyGateway([]byte("garbage")).IsZero() {
+		t.Fatal("garbage reply block produced a gateway")
+	}
+	if !mustReplyGateway([]byte("reply-to !!! 5")).IsZero() {
+		t.Fatal("invalid hash produced a gateway")
+	}
+}

@@ -1,0 +1,464 @@
+// Package floodfill implements the netDb service a floodfill router runs
+// (Section 2.1.2): it accepts obfuscated transport connections, answers
+// DatabaseStoreMessage and DatabaseLookupMessage requests against a local
+// netdb.Store, and floods fresh entries to its closest floodfill peers —
+// "the floodfill router 'floods' the netDb entry to three others among its
+// closest floodfill routers" (Section 4.2).
+//
+// Everything runs over the transport package's NTCP-style framing on real
+// TCP sockets, so the full store/lookup/flood path is exercised end to end
+// in tests.
+package floodfill
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+	"github.com/i2pstudy/i2pstudy/internal/transport"
+)
+
+// Config parameterizes a floodfill server.
+type Config struct {
+	// Identity is the floodfill's own router hash; it keys the transport
+	// obfuscation, so clients must know it (they do — it comes from the
+	// RouterInfo they used to find the floodfill).
+	Identity netdb.Hash
+	// Fanout is how many closest floodfill peers receive a flood of each
+	// fresh entry (netdb.FloodFanout in the real network).
+	Fanout int
+	// Now supplies the clock; nil means time.Now. Tests inject fixed
+	// times so routing-key rotation is deterministic.
+	Now func() time.Time
+	// Logf, when non-nil, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now().UTC()
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Server is a running floodfill netDb service.
+type Server struct {
+	cfg      Config
+	store    *netdb.Store
+	listener *transport.Listener
+
+	mu    sync.Mutex
+	peers map[netdb.Hash]string // other floodfills: hash -> dial address
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewServer creates a server around an existing store (floodfill expiry
+// rules are the caller's choice; netdb.NewStore(true) matches the paper).
+func NewServer(store *netdb.Store, cfg Config) *Server {
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = netdb.FloodFanout
+	}
+	return &Server{
+		cfg:    cfg,
+		store:  store,
+		peers:  make(map[netdb.Hash]string),
+		closed: make(chan struct{}),
+	}
+}
+
+// Store returns the server's backing store.
+func (s *Server) Store() *netdb.Store { return s.store }
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves until Close.
+func (s *Server) Start(addr string) error {
+	l, err := transport.Listen("tcp", addr, transport.Config{
+		Variant:    transport.VariantNTCP2,
+		RouterHash: s.cfg.Identity,
+	})
+	if err != nil {
+		return err
+	}
+	s.listener = l
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the listen address, valid after Start.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// AddPeer registers another floodfill as a flooding target.
+func (s *Server) AddPeer(hash netdb.Hash, addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers[hash] = addr
+}
+
+// Close stops the listener and waits for in-flight handlers.
+func (s *Server) Close() {
+	select {
+	case <-s.closed:
+		return
+	default:
+	}
+	close(s.closed)
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.cfg.logf("floodfill %s: accept: %v", s.cfg.Identity.Short(), err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn answers messages on one connection until EOF or error.
+func (s *Server) serveConn(conn *transport.Conn) {
+	for {
+		data, err := conn.ReadMessage()
+		if err != nil {
+			return
+		}
+		msg, err := netdb.DecodeMessage(data)
+		if err != nil {
+			s.cfg.logf("floodfill %s: bad message: %v", s.cfg.Identity.Short(), err)
+			return
+		}
+		var reply any
+		switch m := msg.(type) {
+		case *netdb.DatabaseStoreMessage:
+			reply = s.handleStore(m)
+		case *netdb.DatabaseLookupMessage:
+			reply = s.handleLookup(m)
+		default:
+			s.cfg.logf("floodfill %s: unexpected %T", s.cfg.Identity.Short(), msg)
+			return
+		}
+		if reply == nil {
+			continue
+		}
+		out, err := netdb.EncodeMessage(reply)
+		if err != nil {
+			s.cfg.logf("floodfill %s: encode reply: %v", s.cfg.Identity.Short(), err)
+			return
+		}
+		if err := conn.WriteMessage(out); err != nil {
+			return
+		}
+	}
+}
+
+// handleStore verifies and stores the payload, flooding fresh entries.
+// When the client asked for a confirmation (ReplyToken != 0) it returns an
+// ack; otherwise nil.
+func (s *Server) handleStore(m *netdb.DatabaseStoreMessage) any {
+	now := s.cfg.now()
+	var result netdb.StoreResult
+	switch m.Type {
+	case netdb.EntryRouterInfo:
+		ri, err := netdb.DecodeRouterInfo(m.Payload)
+		if err != nil || ri.Identity != m.Key {
+			s.cfg.logf("floodfill %s: rejected RouterInfo store: %v", s.cfg.Identity.Short(), err)
+			return nil
+		}
+		result = s.store.PutRouterInfo(ri, now)
+	case netdb.EntryLeaseSet:
+		ls, err := netdb.DecodeLeaseSet(m.Payload)
+		if err != nil || ls.Destination != m.Key {
+			s.cfg.logf("floodfill %s: rejected LeaseSet store: %v", s.cfg.Identity.Short(), err)
+			return nil
+		}
+		result = s.store.PutLeaseSet(ls, now)
+	default:
+		return nil
+	}
+
+	// Flood fresh entries onward, once: entries arriving via a flood are
+	// not re-flooded (loop prevention).
+	if !m.FromFlood && (result == netdb.StoreNew || result == netdb.StoreFresher) {
+		s.flood(m)
+	}
+
+	if m.ReplyToken != 0 {
+		// Delivery confirmation: an empty search-reply echoing the key.
+		return &netdb.DatabaseSearchReply{Key: m.Key, From: s.cfg.Identity}
+	}
+	return nil
+}
+
+// flood forwards the store to the fanout closest floodfill peers by
+// routing-key distance.
+func (s *Server) flood(m *netdb.DatabaseStoreMessage) {
+	s.mu.Lock()
+	candidates := make([]netdb.Hash, 0, len(s.peers))
+	addrs := make(map[netdb.Hash]string, len(s.peers))
+	for h, a := range s.peers {
+		candidates = append(candidates, h)
+		addrs[h] = a
+	}
+	s.mu.Unlock()
+	if len(candidates) == 0 {
+		return
+	}
+	targets := netdb.ClosestTo(m.Key, candidates, s.cfg.Fanout, s.cfg.now())
+	fwd := &netdb.DatabaseStoreMessage{
+		Key:       m.Key,
+		Type:      m.Type,
+		Payload:   m.Payload,
+		FromFlood: true,
+	}
+	for _, target := range targets {
+		addr := addrs[target]
+		if err := s.sendStore(target, addr, fwd); err != nil {
+			s.cfg.logf("floodfill %s: flood to %s: %v", s.cfg.Identity.Short(), target.Short(), err)
+		}
+	}
+}
+
+func (s *Server) sendStore(target netdb.Hash, addr string, m *netdb.DatabaseStoreMessage) error {
+	c, err := Dial(addr, target)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.send(m)
+}
+
+// handleLookup answers a DLM: the record itself when present, otherwise
+// (or for exploratory lookups) the closest known router hashes.
+func (s *Server) handleLookup(m *netdb.DatabaseLookupMessage) any {
+	now := s.cfg.now()
+	if !m.Exploratory {
+		switch m.Type {
+		case netdb.EntryRouterInfo:
+			if ri := s.store.RouterInfo(m.Key); ri != nil {
+				data, err := ri.Encode()
+				if err == nil {
+					return &netdb.DatabaseStoreMessage{Key: m.Key, Type: netdb.EntryRouterInfo, Payload: data}
+				}
+			}
+		case netdb.EntryLeaseSet:
+			if ls := s.store.LeaseSet(m.Key); ls != nil {
+				data, err := ls.Encode()
+				if err == nil {
+					return &netdb.DatabaseStoreMessage{Key: m.Key, Type: netdb.EntryLeaseSet, Payload: data}
+				}
+			}
+		}
+	}
+	// Not found or exploratory: answer with close peers, excluding what
+	// the requester already knows.
+	exclude := make(map[netdb.Hash]bool, len(m.Exclude)+1)
+	for _, h := range m.Exclude {
+		exclude[h] = true
+	}
+	exclude[m.From] = true
+	var peers []netdb.Hash
+	for _, h := range s.store.ClosestRouters(m.Key, 16+len(exclude), now) {
+		if !exclude[h] {
+			peers = append(peers, h)
+		}
+		if len(peers) == 16 {
+			break
+		}
+	}
+	return &netdb.DatabaseSearchReply{Key: m.Key, From: s.cfg.Identity, Peers: peers}
+}
+
+// --- client ---
+
+// Client is a netDb client connection to one floodfill.
+type Client struct {
+	conn *transport.Conn
+}
+
+// Dial connects to a floodfill at addr with the given identity hash.
+func Dial(addr string, server netdb.Hash) (*Client, error) {
+	conn, err := transport.Dial("tcp", addr, transport.Config{
+		Variant:    transport.VariantNTCP2,
+		RouterHash: server,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) send(msg any) error {
+	data, err := netdb.EncodeMessage(msg)
+	if err != nil {
+		return err
+	}
+	return c.conn.WriteMessage(data)
+}
+
+func (c *Client) recv() (any, error) {
+	data, err := c.conn.ReadMessage()
+	if err != nil {
+		return nil, err
+	}
+	return netdb.DecodeMessage(data)
+}
+
+// ErrNotConfirmed is returned when a confirmed store receives no ack.
+var ErrNotConfirmed = errors.New("floodfill: store not confirmed")
+
+// StoreRouterInfo publishes a RouterInfo. When confirm is true it waits
+// for the floodfill's delivery acknowledgement.
+func (c *Client) StoreRouterInfo(ri *netdb.RouterInfo, confirm bool) error {
+	data, err := ri.Encode()
+	if err != nil {
+		return err
+	}
+	msg := &netdb.DatabaseStoreMessage{Key: ri.Identity, Type: netdb.EntryRouterInfo, Payload: data}
+	if confirm {
+		msg.ReplyToken = 1
+	}
+	if err := c.send(msg); err != nil {
+		return err
+	}
+	if !confirm {
+		return nil
+	}
+	reply, err := c.recv()
+	if err != nil {
+		return err
+	}
+	ack, ok := reply.(*netdb.DatabaseSearchReply)
+	if !ok || ack.Key != ri.Identity {
+		return ErrNotConfirmed
+	}
+	return nil
+}
+
+// StoreLeaseSet publishes a LeaseSet, optionally confirmed.
+func (c *Client) StoreLeaseSet(ls *netdb.LeaseSet, confirm bool) error {
+	data, err := ls.Encode()
+	if err != nil {
+		return err
+	}
+	msg := &netdb.DatabaseStoreMessage{Key: ls.Destination, Type: netdb.EntryLeaseSet, Payload: data}
+	if confirm {
+		msg.ReplyToken = 1
+	}
+	if err := c.send(msg); err != nil {
+		return err
+	}
+	if !confirm {
+		return nil
+	}
+	reply, err := c.recv()
+	if err != nil {
+		return err
+	}
+	ack, ok := reply.(*netdb.DatabaseSearchReply)
+	if !ok || ack.Key != ls.Destination {
+		return ErrNotConfirmed
+	}
+	return nil
+}
+
+// LookupRouterInfo queries for a RouterInfo. On a hit it returns the
+// record; on a miss it returns the close-peer referrals instead.
+func (c *Client) LookupRouterInfo(key, from netdb.Hash) (*netdb.RouterInfo, []netdb.Hash, error) {
+	if err := c.send(&netdb.DatabaseLookupMessage{Key: key, From: from, Type: netdb.EntryRouterInfo}); err != nil {
+		return nil, nil, err
+	}
+	reply, err := c.recv()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch r := reply.(type) {
+	case *netdb.DatabaseStoreMessage:
+		if r.Type != netdb.EntryRouterInfo {
+			return nil, nil, fmt.Errorf("floodfill: unexpected entry type %v", r.Type)
+		}
+		ri, err := netdb.DecodeRouterInfo(r.Payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ri, nil, nil
+	case *netdb.DatabaseSearchReply:
+		return nil, r.Peers, nil
+	default:
+		return nil, nil, fmt.Errorf("floodfill: unexpected reply %T", reply)
+	}
+}
+
+// LookupLeaseSet queries for a LeaseSet, with referral fallback.
+func (c *Client) LookupLeaseSet(key, from netdb.Hash) (*netdb.LeaseSet, []netdb.Hash, error) {
+	if err := c.send(&netdb.DatabaseLookupMessage{Key: key, From: from, Type: netdb.EntryLeaseSet}); err != nil {
+		return nil, nil, err
+	}
+	reply, err := c.recv()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch r := reply.(type) {
+	case *netdb.DatabaseStoreMessage:
+		ls, err := netdb.DecodeLeaseSet(r.Payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ls, nil, nil
+	case *netdb.DatabaseSearchReply:
+		return nil, r.Peers, nil
+	default:
+		return nil, nil, fmt.Errorf("floodfill: unexpected reply %T", reply)
+	}
+}
+
+// Explore sends an exploratory lookup (the netDb-harvesting mechanism of
+// Section 4.2 used by peers short on RouterInfos), returning referrals.
+func (c *Client) Explore(key, from netdb.Hash, exclude []netdb.Hash) ([]netdb.Hash, error) {
+	msg := &netdb.DatabaseLookupMessage{
+		Key:         key,
+		From:        from,
+		Type:        netdb.EntryRouterInfo,
+		Exploratory: true,
+		Exclude:     exclude,
+	}
+	if err := c.send(msg); err != nil {
+		return nil, err
+	}
+	reply, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	dsr, ok := reply.(*netdb.DatabaseSearchReply)
+	if !ok {
+		return nil, fmt.Errorf("floodfill: unexpected reply %T", reply)
+	}
+	return dsr.Peers, nil
+}

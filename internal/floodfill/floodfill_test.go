@@ -1,0 +1,278 @@
+package floodfill
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+)
+
+var testNow = time.Date(2018, 2, 10, 12, 0, 0, 0, time.UTC)
+
+func fixedNow() time.Time { return testNow }
+
+func testRI(id uint64) *netdb.RouterInfo {
+	return &netdb.RouterInfo{
+		Identity:  netdb.HashFromUint64(id),
+		Published: testNow,
+		Caps:      netdb.NewCaps(200, false, true),
+		Version:   "0.9.34",
+		Addresses: []netdb.RouterAddress{{
+			Transport: netdb.TransportNTCP,
+			Addr:      netip.AddrFrom4([4]byte{10, byte(id >> 8), byte(id), 1}),
+			Port:      12000,
+		}},
+	}
+}
+
+// startServer spins up one floodfill with its own store.
+func startServer(t *testing.T, id uint64, fanout int) *Server {
+	t.Helper()
+	srv := NewServer(netdb.NewStore(true), Config{
+		Identity: netdb.HashFromUint64(id),
+		Fanout:   fanout,
+		Now:      fixedNow,
+		Logf:     t.Logf,
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func dialServer(t *testing.T, srv *Server, id uint64) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr(), netdb.HashFromUint64(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestStoreAndLookupRouterInfo(t *testing.T) {
+	srv := startServer(t, 1, 3)
+	c := dialServer(t, srv, 1)
+
+	ri := testRI(100)
+	if err := c.StoreRouterInfo(ri, true); err != nil {
+		t.Fatalf("confirmed store: %v", err)
+	}
+	if srv.Store().RouterCount() != 1 {
+		t.Fatal("record not stored")
+	}
+
+	got, referrals, err := c.LookupRouterInfo(ri.Identity, netdb.HashFromUint64(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatalf("lookup missed; referrals %v", referrals)
+	}
+	if got.Identity != ri.Identity || got.Caps != ri.Caps {
+		t.Fatal("record corrupted over the wire")
+	}
+}
+
+func TestLookupMissReturnsReferrals(t *testing.T) {
+	srv := startServer(t, 1, 3)
+	c := dialServer(t, srv, 1)
+	// Seed the floodfill with some records.
+	for i := uint64(10); i < 30; i++ {
+		if err := c.StoreRouterInfo(testRI(i), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Confirmed store as a write barrier for the unconfirmed ones.
+	if err := c.StoreRouterInfo(testRI(30), true); err != nil {
+		t.Fatal(err)
+	}
+	got, referrals, err := c.LookupRouterInfo(netdb.HashFromUint64(9999), netdb.HashFromUint64(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatal("lookup hit a record that was never stored")
+	}
+	if len(referrals) == 0 {
+		t.Fatal("no referrals on miss")
+	}
+}
+
+func TestStoreAndLookupLeaseSet(t *testing.T) {
+	srv := startServer(t, 1, 3)
+	c := dialServer(t, srv, 1)
+	ls := &netdb.LeaseSet{
+		Destination: netdb.HashFromUint64(777),
+		Published:   testNow,
+		Leases: []netdb.Lease{{
+			Gateway:  netdb.HashFromUint64(10),
+			TunnelID: 5,
+			Expires:  testNow.Add(10 * time.Minute),
+		}},
+	}
+	if err := c.StoreLeaseSet(ls, true); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.LookupLeaseSet(ls.Destination, netdb.HashFromUint64(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Destination != ls.Destination || len(got.Leases) != 1 {
+		t.Fatalf("lease set corrupted: %+v", got)
+	}
+}
+
+func TestExplore(t *testing.T) {
+	srv := startServer(t, 1, 3)
+	c := dialServer(t, srv, 1)
+	for i := uint64(10); i < 40; i++ {
+		if err := c.StoreRouterInfo(testRI(i), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.StoreRouterInfo(testRI(40), true); err != nil {
+		t.Fatal(err)
+	}
+	exclude := []netdb.Hash{netdb.HashFromUint64(10), netdb.HashFromUint64(11)}
+	peers, err := c.Explore(netdb.HashFromUint64(5555), netdb.HashFromUint64(9), exclude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) == 0 || len(peers) > 16 {
+		t.Fatalf("referral count %d", len(peers))
+	}
+	for _, p := range peers {
+		for _, ex := range exclude {
+			if p == ex {
+				t.Fatal("excluded peer returned")
+			}
+		}
+		if p == netdb.HashFromUint64(9) {
+			t.Fatal("requester returned to itself")
+		}
+	}
+}
+
+// TestFloodingReplicates: a store to one floodfill propagates to its
+// peers, but flooded copies are not re-flooded (no amplification).
+func TestFloodingReplicates(t *testing.T) {
+	a := startServer(t, 1, 2)
+	b := startServer(t, 2, 2)
+	cSrv := startServer(t, 3, 2)
+
+	// Full mesh peer knowledge.
+	servers := map[uint64]*Server{1: a, 2: b, 3: cSrv}
+	for idA, sA := range servers {
+		for idB, sB := range servers {
+			if idA != idB {
+				sA.AddPeer(netdb.HashFromUint64(idB), sB.Addr())
+			}
+		}
+	}
+
+	cl := dialServer(t, a, 1)
+	ri := testRI(4242)
+	if err := cl.StoreRouterInfo(ri, true); err != nil {
+		t.Fatal(err)
+	}
+	// Flooding is asynchronous from the client's perspective; poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if b.Store().HasRouter(ri.Identity) && cSrv.Store().HasRouter(ri.Identity) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flood did not reach peers: b=%v c=%v",
+				b.Store().HasRouter(ri.Identity), cSrv.Store().HasRouter(ri.Identity))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if a.Store().RouterCount() != 1 {
+		t.Fatal("origin store wrong")
+	}
+}
+
+// TestFloodLoopPrevention: with FromFlood set, receiving servers must not
+// forward again — verified by a two-node cycle that would otherwise loop
+// forever (the test finishing at all is the assertion, plus store counts).
+func TestFloodLoopPrevention(t *testing.T) {
+	a := startServer(t, 1, 1)
+	b := startServer(t, 2, 1)
+	a.AddPeer(netdb.HashFromUint64(2), b.Addr())
+	b.AddPeer(netdb.HashFromUint64(1), a.Addr())
+
+	cl := dialServer(t, a, 1)
+	if err := cl.StoreRouterInfo(testRI(777), true); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !b.Store().HasRouter(netdb.HashFromUint64(777)) {
+		if time.Now().After(deadline) {
+			t.Fatal("flood never reached b")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Give a would-be loop time to manifest, then confirm both sides hold
+	// exactly one copy and the system is quiescent.
+	time.Sleep(100 * time.Millisecond)
+	if a.Store().RouterCount() != 1 || b.Store().RouterCount() != 1 {
+		t.Fatalf("unexpected store counts: a=%d b=%d", a.Store().RouterCount(), b.Store().RouterCount())
+	}
+}
+
+func TestRejectsCorruptStore(t *testing.T) {
+	srv := startServer(t, 1, 3)
+	c := dialServer(t, srv, 1)
+
+	ri := testRI(55)
+	data, err := ri.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xFF // break the integrity tag
+	msg := &netdb.DatabaseStoreMessage{Key: ri.Identity, Type: netdb.EntryRouterInfo, Payload: data}
+	if err := c.send(msg); err != nil {
+		t.Fatal(err)
+	}
+	// A key/payload identity mismatch must also be rejected.
+	good, err := testRI(56).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg = &netdb.DatabaseStoreMessage{Key: netdb.HashFromUint64(999), Type: netdb.EntryRouterInfo, Payload: good}
+	if err := c.send(msg); err != nil {
+		t.Fatal(err)
+	}
+	// Barrier store to ensure the server processed the bad ones.
+	if err := c.StoreRouterInfo(testRI(57), true); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Store().HasRouter(netdb.HashFromUint64(55)) {
+		t.Fatal("corrupt record stored")
+	}
+	if srv.Store().HasRouter(netdb.HashFromUint64(56)) {
+		t.Fatal("key-mismatched record stored")
+	}
+	if !srv.Store().HasRouter(netdb.HashFromUint64(57)) {
+		t.Fatal("barrier record missing")
+	}
+}
+
+func TestDialWrongIdentityFails(t *testing.T) {
+	srv := startServer(t, 1, 3)
+	// Dialing with the wrong router hash derives the wrong obfuscation
+	// keystream: the handshake must fail.
+	if c, err := Dial(srv.Addr(), netdb.HashFromUint64(999)); err == nil {
+		c.Close()
+		t.Fatal("handshake with wrong identity succeeded")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := startServer(t, 7, 3)
+	srv.Close()
+	srv.Close() // second close must not panic or deadlock
+}

@@ -1,0 +1,269 @@
+package geo
+
+// countrySpec seeds the synthetic database with one country's share of the
+// I2P peer population and its press-freedom score. Shares are per-mille of
+// the global peer population and are calibrated to the paper's Figure 10:
+// the US leads with ~24% of observed peers; US+RU+GB+FR+CA+AU exceed 40%;
+// the top 20 exceed 60%; ~30 censored countries total ~5%, led by China
+// (>2K of ~115K cumulative known-IP peers), Singapore (~700) and
+// Turkey (~600).
+type countrySpec struct {
+	Code  string
+	Name  string
+	Share int // per-mille of peers
+	Press int // press-freedom score; > 50 means hidden-by-default
+}
+
+// The 2018 RSF scores are approximated; only the >50 threshold matters to
+// the I2P hidden-mode default the paper describes (Section 5.1).
+var countrySpecs = []countrySpec{
+	// Top 20 of Figure 10.
+	{"US", "United States", 240, 23},
+	{"RU", "Russia", 80, 50},
+	{"GB", "United Kingdom", 52, 23},
+	{"FR", "France", 45, 22},
+	{"CA", "Canada", 40, 16},
+	{"AU", "Australia", 35, 21},
+	{"DE", "Germany", 32, 14},
+	{"NL", "Netherlands", 25, 10},
+	{"BR", "Brazil", 23, 31},
+	{"IT", "Italy", 22, 24},
+	{"ES", "Spain", 20, 20},
+	{"IN", "India", 19, 43},
+	{"CN", "China", 18, 78},
+	{"JP", "Japan", 17, 28},
+	{"UA", "Ukraine", 16, 32},
+	{"SE", "Sweden", 15, 9},
+	{"BE", "Belgium", 14, 13},
+	{"CH", "Switzerland", 13, 11},
+	{"PL", "Poland", 13, 26},
+	{"ZA", "South Africa", 12, 20},
+	// Censored group (press score > 50). China above is also in this
+	// group. Shares follow the paper: SG ~0.6%, TR ~0.5%, the rest small.
+	{"SG", "Singapore", 6, 51},
+	{"TR", "Turkey", 5, 58},
+	{"VN", "Vietnam", 2, 75},
+	{"SA", "Saudi Arabia", 2, 66},
+	{"IR", "Iran", 2, 64},
+	{"EG", "Egypt", 2, 56},
+	{"PK", "Pakistan", 2, 51},
+	{"BY", "Belarus", 2, 52},
+	{"KZ", "Kazakhstan", 2, 54},
+	{"AE", "United Arab Emirates", 1, 58},
+	{"TH", "Thailand", 1, 53},
+	{"IQ", "Iraq", 1, 54},
+	{"LY", "Libya", 1, 56},
+	{"SY", "Syria", 1, 81},
+	{"YE", "Yemen", 1, 65},
+	{"SD", "Sudan", 1, 71},
+	{"ET", "Ethiopia", 1, 69},
+	{"CU", "Cuba", 1, 68},
+	{"VE", "Venezuela", 1, 51},
+	{"BH", "Bahrain", 1, 61},
+	{"OM", "Oman", 1, 52},
+	{"QA", "Qatar", 1, 57},
+	{"LA", "Laos", 1, 66},
+	{"KH", "Cambodia", 1, 52},
+	{"MM", "Myanmar", 1, 55},
+	{"TJ", "Tajikistan", 1, 55},
+	{"TM", "Turkmenistan", 1, 84},
+	{"UZ", "Uzbekistan", 1, 66},
+	{"AZ", "Azerbaijan", 1, 57},
+	{"RW", "Rwanda", 1, 50},
+	// Two censored countries with no observed peers (the paper saw peers
+	// in only 30 of 32 such countries).
+	{"KP", "North Korea", 0, 88},
+	{"ER", "Eritrea", 0, 84},
+	// A long tail of uncensored countries sharing the remainder. Shares
+	// here are filled programmatically by buildCountries so that the
+	// total reaches 1000 per-mille across 225 countries/regions.
+	{"FI", "Finland", 10, 8},
+	{"NO", "Norway", 10, 8},
+	{"DK", "Denmark", 9, 10},
+	{"AT", "Austria", 9, 14},
+	{"CZ", "Czechia", 9, 24},
+	{"PT", "Portugal", 8, 16},
+	{"GR", "Greece", 8, 30},
+	{"HU", "Hungary", 8, 29},
+	{"RO", "Romania", 8, 25},
+	{"BG", "Bulgaria", 7, 35},
+	{"AR", "Argentina", 7, 26},
+	{"MX", "Mexico", 7, 48},
+	{"CL", "Chile", 6, 20},
+	{"CO", "Colombia", 6, 41},
+	{"KR", "South Korea", 6, 24},
+	{"TW", "Taiwan", 6, 23},
+	{"HK", "Hong Kong", 5, 39},
+	{"ID", "Indonesia", 5, 37},
+	{"MY", "Malaysia", 5, 46},
+	{"PH", "Philippines", 5, 42},
+	{"NZ", "New Zealand", 5, 13},
+	{"IE", "Ireland", 5, 14},
+	{"IL", "Israel", 4, 32},
+	{"RS", "Serbia", 4, 31},
+	{"HR", "Croatia", 4, 28},
+	{"SK", "Slovakia", 4, 23},
+	{"SI", "Slovenia", 4, 22},
+	{"LT", "Lithuania", 4, 22},
+	{"LV", "Latvia", 3, 19},
+	{"EE", "Estonia", 3, 12},
+	{"MD", "Moldova", 3, 30},
+	{"GE", "Georgia", 3, 28},
+	{"AM", "Armenia", 3, 29},
+	{"PE", "Peru", 3, 30},
+	{"EC", "Ecuador", 3, 33},
+	{"UY", "Uruguay", 3, 16},
+	{"CR", "Costa Rica", 2, 12},
+	{"PA", "Panama", 2, 30},
+	{"DO", "Dominican Republic", 2, 27},
+	{"MA", "Morocco", 2, 43},
+	{"TN", "Tunisia", 2, 31},
+	{"DZ", "Algeria", 2, 43},
+	{"NG", "Nigeria", 2, 39},
+	{"KE", "Kenya", 2, 31},
+	{"GH", "Ghana", 2, 23},
+	{"TZ", "Tanzania", 2, 39},
+	{"UG", "Uganda", 2, 35},
+	{"SN", "Senegal", 1, 24},
+	{"CI", "Ivory Coast", 1, 29},
+	{"CM", "Cameroon", 1, 43},
+	{"BD", "Bangladesh", 1, 48},
+	{"LK", "Sri Lanka", 1, 44},
+	{"NP", "Nepal", 1, 35},
+	{"MN", "Mongolia", 1, 30},
+	{"KG", "Kyrgyzstan", 1, 47},
+	{"AL", "Albania", 1, 29},
+	{"MK", "North Macedonia", 1, 36},
+	{"BA", "Bosnia and Herzegovina", 1, 27},
+	{"ME", "Montenegro", 1, 33},
+	{"CY", "Cyprus", 1, 21},
+	{"MT", "Malta", 1, 24},
+	{"LU", "Luxembourg", 1, 15},
+	{"IS", "Iceland", 1, 13},
+}
+
+// asSpec seeds one autonomous system: its number, operator name, home
+// country, and its share of that country's peers in per-mille. Figure 11:
+// AS7922 (Comcast) alone hosts >8K of ~115K (≈7%); the top 20 ASes cover
+// >30% of all peers. ASNs 7922, 9009 and 7018 are legible in the figure;
+// the remainder are representative large consumer ISPs in the top
+// countries.
+type asSpec struct {
+	ASN     uint32
+	Name    string
+	Country string
+	Share   int // per-mille of the country's peers
+}
+
+var asSpecs = []asSpec{
+	// United States: Comcast dominates Figure 11.
+	{7922, "Comcast Cable Communications, LLC", "US", 300},
+	{7018, "AT&T Services, Inc.", "US", 150},
+	{701, "Verizon Business", "US", 120},
+	{20115, "Charter Communications", "US", 110},
+	{22773, "Cox Communications Inc.", "US", 80},
+	{209, "CenturyLink Communications, LLC", "US", 70},
+	{10796, "Time Warner Cable Internet LLC", "US", 60},
+	{6128, "Cablevision Systems Corp.", "US", 40},
+	{11427, "Charter Communications (TWC)", "US", 40},
+	{30036, "Mediacom Communications Corp", "US", 30},
+	// Russia.
+	{12389, "Rostelecom", "RU", 250},
+	{8402, "OJSC Vimpelcom", "RU", 180},
+	{12714, "Net By Net Holding LLC", "RU", 120},
+	{31208, "MegaFon", "RU", 100},
+	{25513, "MGTS", "RU", 90},
+	{8359, "MTS PJSC", "RU", 90},
+	// United Kingdom.
+	{9009, "M247 Ltd", "GB", 220},
+	{2856, "British Telecommunications PLC", "GB", 200},
+	{5089, "Virgin Media Limited", "GB", 180},
+	{13285, "TalkTalk Communications Limited", "GB", 120},
+	{5607, "Sky UK Limited", "GB", 120},
+	// France.
+	{12322, "Free SAS", "FR", 280},
+	{3215, "Orange S.A.", "FR", 250},
+	{15557, "SFR SA", "FR", 170},
+	{5410, "Bouygues Telecom SA", "FR", 130},
+	// Canada.
+	{812, "Rogers Communications Canada Inc.", "CA", 250},
+	{577, "Bell Canada", "CA", 220},
+	{6327, "Shaw Communications Inc.", "CA", 180},
+	{852, "TELUS Communications", "CA", 150},
+	// Australia.
+	{1221, "Telstra Corporation Ltd", "AU", 280},
+	{4804, "Microplex PTY LTD (Optus)", "AU", 180},
+	{7545, "TPG Telecom Limited", "AU", 170},
+	{9443, "Vocus Communications", "AU", 100},
+	// Germany.
+	{3320, "Deutsche Telekom AG", "DE", 300},
+	{31334, "Vodafone Kabel Deutschland", "DE", 180},
+	{6830, "Liberty Global (Unitymedia)", "DE", 150},
+	{8881, "1&1 Versatel Deutschland", "DE", 100},
+	// Netherlands.
+	{33915, "Vodafone Libertel (Ziggo)", "NL", 280},
+	{1136, "KPN B.V.", "NL", 250},
+	{50266, "Odido Netherlands", "NL", 100},
+	// Brazil.
+	{28573, "Claro NET", "BR", 250},
+	{27699, "Telefonica Brasil (Vivo)", "BR", 220},
+	{8167, "Oi S.A.", "BR", 150},
+	// Italy.
+	{3269, "Telecom Italia", "IT", 280},
+	{30722, "Vodafone Italia", "IT", 180},
+	{12874, "Fastweb SpA", "IT", 150},
+	// Spain.
+	{3352, "Telefonica de Espana", "ES", 280},
+	{12479, "Orange Espagne", "ES", 180},
+	{12430, "Vodafone Espana", "ES", 150},
+	// India.
+	{9829, "BSNL National Internet Backbone", "IN", 220},
+	{24560, "Bharti Airtel Ltd", "IN", 200},
+	{45609, "Bharti Airtel (Mobility)", "IN", 120},
+	// China.
+	{4134, "Chinanet", "CN", 300},
+	{4837, "China Unicom Backbone", "CN", 220},
+	{9808, "China Mobile", "CN", 150},
+	// Japan.
+	{4713, "NTT Communications (OCN)", "JP", 250},
+	{17676, "SoftBank Corp.", "JP", 200},
+	{2516, "KDDI Corporation", "JP", 180},
+	// Ukraine.
+	{6849, "PJSC Ukrtelecom", "UA", 220},
+	{25229, "Kyivstar GSM", "UA", 180},
+	{13188, "Content Delivery Network Ltd (Triolan)", "UA", 140},
+	// Sweden.
+	{3301, "Telia Company AB", "SE", 280},
+	{8473, "Bahnhof AB", "SE", 180},
+	{29518, "Bredband2 AB", "SE", 150},
+	// Belgium.
+	{5432, "Proximus NV", "BE", 280},
+	{6848, "Telenet BVBA", "BE", 250},
+	// Switzerland.
+	{3303, "Swisscom (Schweiz) AG", "CH", 280},
+	{6730, "Sunrise Communications AG", "CH", 200},
+	// Poland.
+	{5617, "Orange Polska", "PL", 280},
+	{12912, "T-Mobile Polska", "PL", 160},
+	{6714, "Netia SA", "PL", 150},
+	// South Africa.
+	{3741, "Internet Solutions", "ZA", 220},
+	{37457, "Telkom SA", "ZA", 200},
+	// Singapore & Turkey (the censored-group leaders after China).
+	{4773, "Singtel Mobile", "SG", 300},
+	{9506, "Singtel Fibre", "SG", 250},
+	{9121, "Turk Telekom", "TR", 300},
+	{34984, "Superonline Iletisim", "TR", 220},
+	// Popular hosting/VPN ASes: the paper attributes multi-AS peers to
+	// routers operated behind VPN or Tor exits (Section 5.3.2).
+	{16276, "OVH SAS", "FR", 60},
+	{24940, "Hetzner Online GmbH", "DE", 60},
+	{16509, "Amazon.com, Inc.", "US", 15},
+	{14061, "DigitalOcean, LLC", "US", 15},
+	{63949, "Linode, LLC", "US", 10},
+	{212238, "Datacamp Limited (CDN77)", "GB", 30},
+}
+
+// VPNASNs lists the hosting/VPN autonomous systems used by the IP-churn
+// model to emulate routers running behind VPN or Tor exits.
+var VPNASNs = []uint32{16276, 24940, 16509, 14061, 63949, 212238}

@@ -1,0 +1,478 @@
+// Package geo is the study's offline IP-geolocation substrate: a synthetic,
+// deterministic substitute for the MaxMind database the paper used.
+//
+// The paper's ethics section requires offline resolution ("we use a locally
+// installed version of the MaxMind Database to map them in an offline
+// fashion", Section 3). This package goes one step further for
+// reproducibility: it *allocates* synthetic IPv4 /16 and IPv6 blocks to a
+// fixed roster of autonomous systems and countries whose peer shares are
+// calibrated to the paper's Figures 10–12, and then resolves any allocated
+// address back to its (country, ASN) record. Simulated peers draw their
+// addresses from this allocator, so geographic analysis code exercises a
+// real lookup path.
+package geo
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/netip"
+	"sort"
+)
+
+// PressFreedomHiddenThreshold is the press-freedom score above which I2P
+// configures routers as hidden by default (Section 5.1: "peers located in
+// countries with poor Press Freedom scores (i.e., greater than 50) are set
+// to hidden").
+const PressFreedomHiddenThreshold = 50
+
+// Record is the result of resolving an IP address.
+type Record struct {
+	CountryCode string
+	CountryName string
+	ASN         uint32
+	ASName      string
+}
+
+// AS describes one autonomous system in the database.
+type AS struct {
+	ASN     uint32
+	Name    string
+	Country string
+	// GlobalShare is the AS's fraction of the worldwide peer population.
+	GlobalShare float64
+	// blocks lists the /16 IPv4 block indexes (address>>16) owned by the AS.
+	blocks []uint32
+}
+
+// Country describes one country in the database.
+type Country struct {
+	Code  string
+	Name  string
+	Press int
+	// Share is the country's fraction of the worldwide peer population.
+	Share float64
+	// ASNs lists the autonomous systems homed in this country.
+	ASNs []uint32
+}
+
+// Censored reports whether the country's press-freedom score exceeds the
+// hidden-mode threshold.
+func (c *Country) Censored() bool { return c.Press > PressFreedomHiddenThreshold }
+
+// DB is the geolocation database. It is immutable after construction and
+// safe for concurrent readers.
+type DB struct {
+	countries map[string]*Country
+	ases      map[uint32]*AS
+	v4block   map[uint32]uint32 // ipv4>>16 -> ASN
+
+	countryList []*Country // sorted by share descending, then code
+	asList      []*AS      // sorted by global share descending, then ASN
+
+	cumCountry []float64 // cumulative country shares for sampling
+	cumAS      map[string][]float64
+	vpnASNs    []uint32
+}
+
+// v4Base is the first synthetic /16 block: 11.0.0.0. The space is
+// synthetic; no claim is made about real-world ownership.
+const v4Base = uint32(11) << 24
+
+// NewDB builds the default database from the calibrated rosters in data.go.
+// Construction is fully deterministic.
+func NewDB() *DB {
+	db := &DB{
+		countries: make(map[string]*Country),
+		ases:      make(map[uint32]*AS),
+		v4block:   make(map[uint32]uint32),
+		cumAS:     make(map[string][]float64),
+		vpnASNs:   append([]uint32(nil), VPNASNs...),
+	}
+
+	totalShare := 0
+	for _, cs := range countrySpecs {
+		totalShare += cs.Share
+	}
+	// The long tail of ~200 unlisted countries and regions absorbs any
+	// remaining share via aggregate rest-of-world entries; the paper
+	// reports "205 other countries and regions". We model them as 10
+	// aggregate entries to keep the allocator small.
+	const restEntries = 10
+	rest := 1000 - totalShare
+	specs := append([]countrySpec(nil), countrySpecs...)
+	if rest > 0 {
+		totalShare += rest
+		for i := 0; i < restEntries; i++ {
+			specs = append(specs, countrySpec{
+				Code:  fmt.Sprintf("R%d", i),
+				Name:  fmt.Sprintf("Rest of world %d", i),
+				Share: rest / restEntries,
+				Press: 30,
+			})
+		}
+	}
+
+	// Normalize so country shares always sum to exactly one, regardless of
+	// roster edits.
+	norm := float64(totalShare)
+	for _, cs := range specs {
+		c := &Country{
+			Code:  cs.Code,
+			Name:  cs.Name,
+			Press: cs.Press,
+			Share: float64(cs.Share) / norm,
+		}
+		db.countries[c.Code] = c
+		db.countryList = append(db.countryList, c)
+	}
+
+	// Explicit ASes first.
+	perCountryShare := make(map[string]int)
+	for _, as := range asSpecs {
+		c := db.countries[as.Country]
+		if c == nil {
+			continue
+		}
+		a := &AS{
+			ASN:         as.ASN,
+			Name:        as.Name,
+			Country:     as.Country,
+			GlobalShare: c.Share * float64(as.Share) / 1000,
+		}
+		db.ases[a.ASN] = a
+		c.ASNs = append(c.ASNs, a.ASN)
+		perCountryShare[as.Country] += as.Share
+	}
+	// One synthetic rest-of-country AS per country absorbs the remainder,
+	// so that every country can mint addresses. Private 16-bit ASNs.
+	nextPrivate := uint32(64512)
+	for _, c := range db.countryList {
+		remainder := 1000 - perCountryShare[c.Code]
+		if remainder <= 0 && len(c.ASNs) > 0 {
+			continue
+		}
+		a := &AS{
+			ASN:         nextPrivate,
+			Name:        "Regional ISPs of " + c.Name,
+			Country:     c.Code,
+			GlobalShare: c.Share * float64(remainder) / 1000,
+		}
+		nextPrivate++
+		db.ases[a.ASN] = a
+		c.ASNs = append(c.ASNs, a.ASN)
+	}
+
+	// Deterministic /16 allocation: iterate ASes in a stable order and
+	// hand out blocks proportional to global share.
+	asns := make([]uint32, 0, len(db.ases))
+	for asn := range db.ases {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	next := v4Base >> 16
+	for _, asn := range asns {
+		a := db.ases[asn]
+		n := int(a.GlobalShare * 256)
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			a.blocks = append(a.blocks, next)
+			db.v4block[next] = asn
+			next++
+		}
+	}
+
+	db.finish()
+	return db
+}
+
+// finish derives the sorted lists and sampling tables. It must be called
+// after countries, ases and v4block are populated.
+func (db *DB) finish() {
+	db.countryList = db.countryList[:0]
+	for _, c := range db.countries {
+		db.countryList = append(db.countryList, c)
+	}
+	sort.Slice(db.countryList, func(i, j int) bool {
+		if db.countryList[i].Share != db.countryList[j].Share {
+			return db.countryList[i].Share > db.countryList[j].Share
+		}
+		return db.countryList[i].Code < db.countryList[j].Code
+	})
+	db.asList = db.asList[:0]
+	for _, a := range db.ases {
+		db.asList = append(db.asList, a)
+	}
+	sort.Slice(db.asList, func(i, j int) bool {
+		if db.asList[i].GlobalShare != db.asList[j].GlobalShare {
+			return db.asList[i].GlobalShare > db.asList[j].GlobalShare
+		}
+		return db.asList[i].ASN < db.asList[j].ASN
+	})
+
+	db.cumCountry = make([]float64, len(db.countryList))
+	sum := 0.0
+	for i, c := range db.countryList {
+		sum += c.Share
+		db.cumCountry[i] = sum
+	}
+	db.cumAS = make(map[string][]float64, len(db.countries))
+	for _, c := range db.countries {
+		sort.Slice(c.ASNs, func(i, j int) bool { return c.ASNs[i] < c.ASNs[j] })
+		cum := make([]float64, len(c.ASNs))
+		s := 0.0
+		for i, asn := range c.ASNs {
+			s += db.ases[asn].GlobalShare
+			cum[i] = s
+		}
+		db.cumAS[c.Code] = cum
+	}
+}
+
+// Country returns the country record for a code, or nil.
+func (db *DB) Country(code string) *Country { return db.countries[code] }
+
+// AS returns the AS record for a number, or nil.
+func (db *DB) AS(asn uint32) *AS { return db.ases[asn] }
+
+// Countries returns all countries sorted by peer share descending.
+func (db *DB) Countries() []*Country { return db.countryList }
+
+// ASes returns all autonomous systems sorted by global share descending.
+func (db *DB) ASes() []*AS { return db.asList }
+
+// CensoredCountries returns the codes of all countries above the
+// press-freedom threshold, sorted by share descending.
+func (db *DB) CensoredCountries() []string {
+	var out []string
+	for _, c := range db.countryList {
+		if c.Censored() {
+			out = append(out, c.Code)
+		}
+	}
+	return out
+}
+
+// Censored reports whether the country code is above the press-freedom
+// threshold. Unknown codes are not censored.
+func (db *DB) Censored(code string) bool {
+	c := db.countries[code]
+	return c != nil && c.Censored()
+}
+
+// Lookup resolves an address allocated by this database. The boolean is
+// false for addresses outside the allocated space — mirroring the ~2K
+// unresolvable addresses the paper hit with MaxMind (Section 5.3.2).
+func (db *DB) Lookup(addr netip.Addr) (Record, bool) {
+	if !addr.IsValid() {
+		return Record{}, false
+	}
+	var asn uint32
+	if addr.Is4() {
+		b := addr.As4()
+		ip := binary.BigEndian.Uint32(b[:])
+		var ok bool
+		asn, ok = db.v4block[ip>>16]
+		if !ok {
+			return Record{}, false
+		}
+	} else {
+		b := addr.As16()
+		if b[0] != 0x2a || b[1] != 0x10 {
+			return Record{}, false
+		}
+		asn = binary.BigEndian.Uint32(b[2:6])
+	}
+	a := db.ases[asn]
+	if a == nil {
+		return Record{}, false
+	}
+	c := db.countries[a.Country]
+	if c == nil {
+		return Record{}, false
+	}
+	return Record{
+		CountryCode: c.Code,
+		CountryName: c.Name,
+		ASN:         a.ASN,
+		ASName:      a.Name,
+	}, true
+}
+
+// RandomIPv4 returns a fresh IPv4 address inside one of the AS's /16
+// blocks. It panics if the ASN is unknown (a programming error in callers).
+func (db *DB) RandomIPv4(asn uint32, rng *rand.Rand) netip.Addr {
+	a := db.ases[asn]
+	if a == nil || len(a.blocks) == 0 {
+		panic(fmt.Sprintf("geo: unknown ASN %d", asn))
+	}
+	block := a.blocks[rng.IntN(len(a.blocks))]
+	host := uint32(rng.IntN(65534) + 1) // avoid .0.0 and broadcast-ish tails
+	ip := block<<16 | host
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], ip)
+	return netip.AddrFrom4(b)
+}
+
+// RandomIPv6 returns an IPv6 address in the AS's synthetic 2a10::/16-based
+// space: the ASN is embedded in bytes 2–5, making lookup exact.
+func (db *DB) RandomIPv6(asn uint32, rng *rand.Rand) netip.Addr {
+	if db.ases[asn] == nil {
+		panic(fmt.Sprintf("geo: unknown ASN %d", asn))
+	}
+	var b [16]byte
+	b[0], b[1] = 0x2a, 0x10
+	binary.BigEndian.PutUint32(b[2:6], asn)
+	for i := 6; i < 16; i++ {
+		b[i] = byte(rng.IntN(256))
+	}
+	return netip.AddrFrom16(b)
+}
+
+// SampleCountry draws a country weighted by peer share.
+func (db *DB) SampleCountry(rng *rand.Rand) *Country {
+	if len(db.countryList) == 0 {
+		return nil
+	}
+	total := db.cumCountry[len(db.cumCountry)-1]
+	x := rng.Float64() * total
+	i := sort.SearchFloat64s(db.cumCountry, x)
+	if i >= len(db.countryList) {
+		i = len(db.countryList) - 1
+	}
+	return db.countryList[i]
+}
+
+// SampleAS draws an AS within a country, weighted by the AS's share.
+// It returns nil for unknown countries.
+func (db *DB) SampleAS(country string, rng *rand.Rand) *AS {
+	c := db.countries[country]
+	if c == nil || len(c.ASNs) == 0 {
+		return nil
+	}
+	cum := db.cumAS[country]
+	total := cum[len(cum)-1]
+	if total <= 0 {
+		return db.ases[c.ASNs[rng.IntN(len(c.ASNs))]]
+	}
+	x := rng.Float64() * total
+	i := sort.SearchFloat64s(cum, x)
+	if i >= len(c.ASNs) {
+		i = len(c.ASNs) - 1
+	}
+	return db.ases[c.ASNs[i]]
+}
+
+// SampleVPNAS draws one of the hosting/VPN ASes used to model routers
+// operated behind VPNs or Tor (Section 5.3.2).
+func (db *DB) SampleVPNAS(rng *rand.Rand) *AS {
+	asn := db.vpnASNs[rng.IntN(len(db.vpnASNs))]
+	return db.ases[asn]
+}
+
+// Save writes the database in a line-oriented text format readable by Load.
+func (db *DB) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range db.countryList {
+		if _, err := fmt.Fprintf(bw, "country %s %d %.6f %s\n", c.Code, c.Press, c.Share, c.Name); err != nil {
+			return err
+		}
+	}
+	for _, a := range db.asList {
+		if _, err := fmt.Fprintf(bw, "as %d %s %.8f %s\n", a.ASN, a.Country, a.GlobalShare, a.Name); err != nil {
+			return err
+		}
+		for _, blk := range a.blocks {
+			if _, err := fmt.Fprintf(bw, "v4 %d %d\n", blk, a.ASN); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a database written by Save.
+func Load(r io.Reader) (*DB, error) {
+	db := &DB{
+		countries: make(map[string]*Country),
+		ases:      make(map[uint32]*AS),
+		v4block:   make(map[uint32]uint32),
+		cumAS:     make(map[string][]float64),
+		vpnASNs:   append([]uint32(nil), VPNASNs...),
+	}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		var kind string
+		if _, err := fmt.Sscanf(text, "%s", &kind); err != nil {
+			return nil, fmt.Errorf("geo: line %d: %w", line, err)
+		}
+		switch kind {
+		case "country":
+			c := &Country{}
+			var rest string
+			if _, err := fmt.Sscanf(text, "country %s %d %f", &c.Code, &c.Press, &c.Share); err != nil {
+				return nil, fmt.Errorf("geo: line %d: %w", line, err)
+			}
+			if n := len("country ") + len(c.Code); n < len(text) {
+				// Name is everything after the third space-separated field.
+				fields := 0
+				for i := 0; i < len(text); i++ {
+					if text[i] == ' ' {
+						fields++
+						if fields == 4 {
+							rest = text[i+1:]
+							break
+						}
+					}
+				}
+			}
+			c.Name = rest
+			db.countries[c.Code] = c
+		case "as":
+			a := &AS{}
+			if _, err := fmt.Sscanf(text, "as %d %s %f", &a.ASN, &a.Country, &a.GlobalShare); err != nil {
+				return nil, fmt.Errorf("geo: line %d: %w", line, err)
+			}
+			fields := 0
+			for i := 0; i < len(text); i++ {
+				if text[i] == ' ' {
+					fields++
+					if fields == 4 {
+						a.Name = text[i+1:]
+						break
+					}
+				}
+			}
+			db.ases[a.ASN] = a
+			if c := db.countries[a.Country]; c != nil {
+				c.ASNs = append(c.ASNs, a.ASN)
+			}
+		case "v4":
+			var blk, asn uint32
+			if _, err := fmt.Sscanf(text, "v4 %d %d", &blk, &asn); err != nil {
+				return nil, fmt.Errorf("geo: line %d: %w", line, err)
+			}
+			db.v4block[blk] = asn
+			if a := db.ases[asn]; a != nil {
+				a.blocks = append(a.blocks, blk)
+			}
+		default:
+			return nil, fmt.Errorf("geo: line %d: unknown record kind %q", line, kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	db.finish()
+	return db, nil
+}

@@ -1,0 +1,214 @@
+package measure
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/geo"
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+)
+
+// CampaignConfig describes one measurement campaign: a set of observer
+// routers run over a day range, mirroring Section 5's setup of "20 routers
+// ... 10 floodfill and 10 non-floodfill" for three months.
+type CampaignConfig struct {
+	// Observers to run. See DefaultObserverFleet.
+	Observers []sim.ObserverConfig
+	// StartDay (inclusive) and EndDay (exclusive) in study days.
+	StartDay, EndDay int
+	// SnapshotDir, when non-empty, persists one observer's netDb to disk
+	// each day (routerInfo-*.dat files) exactly as the paper's harness
+	// watched the Java router's netDb directory. Mostly useful for the
+	// CLI tools; analyses never read it back.
+	SnapshotDir string
+}
+
+// DefaultObserverFleet returns the paper's main fleet: count observers at
+// 8 MB/s, alternating floodfill and non-floodfill modes.
+func DefaultObserverFleet(count int) []sim.ObserverConfig {
+	fleet := make([]sim.ObserverConfig, count)
+	for i := range fleet {
+		fleet[i] = sim.ObserverConfig{
+			Name:       fmt.Sprintf("obs-%02d", i),
+			Floodfill:  i%2 == 0,
+			SharedKBps: sim.MaxSharedKBps,
+			Seed:       uint64(1000 + i),
+		}
+	}
+	return fleet
+}
+
+// Campaign binds a configuration to a network.
+type Campaign struct {
+	cfg CampaignConfig
+	net *sim.Network
+	obs []*sim.Observer
+}
+
+// NewCampaign validates cfg against the network.
+func NewCampaign(network *sim.Network, cfg CampaignConfig) (*Campaign, error) {
+	if len(cfg.Observers) == 0 {
+		return nil, fmt.Errorf("measure: campaign needs at least one observer")
+	}
+	if cfg.StartDay < 0 || cfg.EndDay > network.Days() || cfg.StartDay >= cfg.EndDay {
+		return nil, fmt.Errorf("measure: invalid day range [%d, %d) for a %d-day network",
+			cfg.StartDay, cfg.EndDay, network.Days())
+	}
+	c := &Campaign{cfg: cfg, net: network}
+	for _, ocfg := range cfg.Observers {
+		c.obs = append(c.obs, network.NewObserver(ocfg))
+	}
+	return c, nil
+}
+
+// Observers returns the instantiated observers.
+func (c *Campaign) Observers() []*sim.Observer { return c.obs }
+
+// Run executes the campaign: for every day, every observer captures its
+// RouterInfos (the union of its hourly netDb scans), the records are
+// decoded and merged, and the dataset accumulators are updated. The
+// equivalent of the paper's daily netDb cleanup is implicit: each day
+// starts from an empty observation set.
+func (c *Campaign) Run() (*Dataset, error) {
+	ds := NewDataset(c.cfg.StartDay, c.cfg.EndDay)
+	db := c.net.GeoDB()
+
+	var snapshotStore *netdb.Store
+	if c.cfg.SnapshotDir != "" {
+		snapshotStore = netdb.NewStore(false)
+	}
+
+	for day := c.cfg.StartDay; day < c.cfg.EndDay; day++ {
+		// Merge all observers' captures for the day, newest record wins.
+		merged := make(map[netdb.Hash]*netdb.RouterInfo)
+		for _, o := range c.obs {
+			for _, ri := range o.CollectDay(day) {
+				prev, ok := merged[ri.Identity]
+				if !ok || ri.Published.After(prev.Published) {
+					merged[ri.Identity] = ri
+				}
+			}
+		}
+		c.accumulateDay(ds, db, day, merged)
+
+		if snapshotStore != nil {
+			now := c.net.DayTime(day)
+			snapshotStore.Clear() // the daily cleanup of Section 4.3
+			for _, ri := range merged {
+				snapshotStore.PutRouterInfo(ri, now)
+			}
+			dir := filepath.Join(c.cfg.SnapshotDir, fmt.Sprintf("day-%03d", day), "netDb")
+			if err := snapshotStore.SaveDir(dir); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ds, nil
+}
+
+// accumulateDay folds one day's merged observations into the dataset.
+func (c *Campaign) accumulateDay(ds *Dataset, db *geo.DB, day int, merged map[netdb.Hash]*netdb.RouterInfo) {
+	stats := ds.day(day)
+	ipSeen := make(map[netip.Addr]bool)
+
+	for h, ri := range merged {
+		stats.Peers++
+
+		// Peer tracking.
+		t := ds.track(h)
+		if t.FirstDay < 0 {
+			t.FirstDay = day
+		}
+		t.LastDay = day
+		t.SeenDays[day-ds.StartDay] = true
+
+		// Addresses.
+		hasV4, hasV6 := false, false
+		for _, addr := range ri.IPs() {
+			t.IPs[addr] = true
+			if !ipSeen[addr] {
+				ipSeen[addr] = true
+				stats.IPAll++
+				if addr.Is4() {
+					stats.IPv4++
+				} else {
+					stats.IPv6++
+				}
+			}
+			if addr.Is4() {
+				hasV4 = true
+			} else {
+				hasV6 = true
+			}
+			if rec, ok := db.Lookup(addr); ok {
+				t.ASNs[rec.ASN] = true
+				t.Countries[rec.CountryCode] = true
+			} else {
+				ds.Unresolved++
+			}
+		}
+		_ = hasV4
+		_ = hasV6
+
+		// Status classification (Section 5.1 / Figure 6).
+		firewalled := ri.Firewalled()
+		hidden := ri.HiddenPeer()
+		if ri.HasKnownIP() {
+			t.EverKnownIP = true
+		} else {
+			stats.UnknownIP++
+		}
+		if firewalled {
+			stats.Firewalled++
+			t.EverFirewalled = true
+		}
+		if hidden {
+			stats.Hidden++
+			t.EverHidden = true
+		}
+		if firewalled && hidden {
+			stats.Overlap++
+		}
+
+		// Capacity flags (Figure 9, Table 1).
+		published := ri.Caps.PublishedClasses()
+		for _, cl := range published {
+			stats.ClassCounts[cl]++
+			t.Classes[cl] = true
+		}
+		t.primaryCount[ri.Caps.Class]++
+		if ri.Caps.Floodfill {
+			stats.Floodfill++
+			t.EverFloodfill = true
+			for _, cl := range published {
+				stats.GroupClass["floodfill"][cl]++
+			}
+		}
+		if ri.Caps.Reachable {
+			stats.Reachable++
+			for _, cl := range published {
+				stats.GroupClass["reachable"][cl]++
+			}
+		} else {
+			stats.Unreachable++
+			for _, cl := range published {
+				stats.GroupClass["unreachable"][cl]++
+			}
+		}
+	}
+}
+
+// WriteSummary writes a short plain-text campaign summary to path.
+func (ds *Dataset) WriteSummary(path string, started time.Time) error {
+	var out string
+	out += fmt.Sprintf("campaign days: [%d, %d)\n", ds.StartDay, ds.EndDay)
+	out += fmt.Sprintf("distinct peers observed: %d\n", ds.TotalPeers())
+	out += fmt.Sprintf("mean daily peers: %.0f\n", ds.MeanDailyPeers())
+	out += fmt.Sprintf("unresolved addresses: %d\n", ds.Unresolved)
+	out += fmt.Sprintf("generated: %s\n", started.UTC().Format(time.RFC3339))
+	return os.WriteFile(path, []byte(out), 0o644)
+}

@@ -1,0 +1,63 @@
+package measure
+
+import (
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+)
+
+// ObserverContribution quantifies Section 4.3's marginal-value analysis:
+// how many peers each additional router contributes to the fleet's union
+// view, and how many peers only a single router saw.
+type ObserverContribution struct {
+	// Name is the observer's configured name.
+	Name string
+	// Observed is how many peers the observer saw on the analysis day.
+	Observed int
+	// Marginal is how many of those no earlier observer in fleet order
+	// had seen (the per-router step of Figure 4).
+	Marginal int
+	// Exclusive is how many peers no *other* observer in the whole fleet
+	// saw — the strongest measure of the router's unique vantage.
+	Exclusive int
+}
+
+// ContributionAnalysis computes per-observer contributions for one day.
+// Fleet order matters for Marginal (it mirrors Figure 4's cumulative
+// curve); Exclusive is order-independent.
+func ContributionAnalysis(observers []*sim.Observer, day int) []ObserverContribution {
+	views := make([][]int, len(observers))
+	for i, o := range observers {
+		views[i] = o.ObserveDay(day)
+	}
+	// Count how many observers saw each peer.
+	seenBy := make(map[int]int)
+	for _, view := range views {
+		for _, idx := range view {
+			seenBy[idx]++
+		}
+	}
+	out := make([]ObserverContribution, len(observers))
+	cumulative := make(map[int]bool)
+	for i, view := range views {
+		c := ObserverContribution{Observed: len(view)}
+		if observers[i].Cfg.Name != "" {
+			c.Name = observers[i].Cfg.Name
+		}
+		for _, idx := range view {
+			if !cumulative[idx] {
+				cumulative[idx] = true
+				c.Marginal++
+			}
+			if seenBy[idx] == 1 {
+				c.Exclusive++
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// UnionSize returns the total distinct peers across the fleet for the day
+// (the top of Figure 4's curve).
+func UnionSize(observers []*sim.Observer, day int) int {
+	return len(sim.UnionObserveDay(observers, day))
+}

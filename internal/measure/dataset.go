@@ -1,0 +1,189 @@
+// Package measure implements the paper's measurement pipeline: observer
+// campaigns over a (simulated) I2P network, the hourly-capture /
+// daily-cleanup bookkeeping of Section 4.3, and the analyses behind every
+// population, churn, capacity and geography figure in Section 5.
+package measure
+
+import (
+	"net/netip"
+
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+)
+
+// PeerTrack accumulates everything the campaign learned about one peer
+// (keyed by identity hash), mirroring what the paper's post-processing
+// derived from archived RouterInfos.
+type PeerTrack struct {
+	Hash netdb.Hash
+
+	// FirstDay and LastDay bound the observation window (study days).
+	FirstDay, LastDay int
+	// SeenDays marks which study days the peer was observed.
+	SeenDays []bool
+
+	// IPs is the set of distinct public addresses observed (IPv4+IPv6).
+	IPs map[netip.Addr]bool
+	// ASNs and Countries are resolved via the offline geo database.
+	ASNs      map[uint32]bool
+	Countries map[string]bool
+
+	// Flag observations.
+	EverFloodfill bool
+	// Classes seen across the campaign (primary + legacy + fluctuation).
+	Classes map[netdb.BandwidthClass]bool
+	// PrimaryClass is the highest-frequency primary class observed.
+	primaryCount map[netdb.BandwidthClass]int
+
+	// Status observations.
+	EverKnownIP    bool
+	EverFirewalled bool
+	EverHidden     bool
+}
+
+// DaysObserved returns on how many distinct days the peer was seen.
+func (p *PeerTrack) DaysObserved() int {
+	n := 0
+	for _, s := range p.SeenDays {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// LongestRun returns the longest consecutive-day observation streak.
+func (p *PeerTrack) LongestRun() int {
+	best, cur := 0, 0
+	for _, s := range p.SeenDays {
+		if s {
+			cur++
+			if cur > best {
+				best = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	return best
+}
+
+// Span returns LastDay - FirstDay + 1, the intermittent-presence length.
+func (p *PeerTrack) Span() int {
+	return p.LastDay - p.FirstDay + 1
+}
+
+// PrimaryClass returns the most frequently observed primary class.
+func (p *PeerTrack) PrimaryClass() netdb.BandwidthClass {
+	best := netdb.ClassL
+	bestN := -1
+	for c, n := range p.primaryCount {
+		if n > bestN || (n == bestN && c.Index() > best.Index()) {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// DayStats summarizes one study day — the rows behind Figures 5, 6 and 9.
+type DayStats struct {
+	Day int
+
+	// Peers is the number of unique peers observed.
+	Peers int
+	// Unique address counts.
+	IPAll, IPv4, IPv6 int
+
+	// Unknown-IP decomposition (Figure 6).
+	UnknownIP  int
+	Firewalled int
+	Hidden     int
+	Overlap    int
+
+	// Flag tallies. ClassCounts uses every published letter, so the sum
+	// exceeds Peers (Section 5.3.1).
+	ClassCounts map[netdb.BandwidthClass]int
+	Floodfill   int
+	Reachable   int
+	Unreachable int
+
+	// Cross-tabulation for Table 1: group -> class -> count.
+	GroupClass map[string]map[netdb.BandwidthClass]int
+}
+
+func newDayStats(day int) *DayStats {
+	return &DayStats{
+		Day:         day,
+		ClassCounts: make(map[netdb.BandwidthClass]int),
+		GroupClass: map[string]map[netdb.BandwidthClass]int{
+			"floodfill":   make(map[netdb.BandwidthClass]int),
+			"reachable":   make(map[netdb.BandwidthClass]int),
+			"unreachable": make(map[netdb.BandwidthClass]int),
+		},
+	}
+}
+
+// Dataset is the accumulated result of a campaign.
+type Dataset struct {
+	// StartDay and EndDay bound the campaign ([StartDay, EndDay)).
+	StartDay, EndDay int
+	// Days holds one entry per campaign day.
+	Days []*DayStats
+	// Peers tracks every peer ever observed.
+	Peers map[netdb.Hash]*PeerTrack
+
+	// Resolver maps addresses to geographic records; unresolvable
+	// addresses are counted in Unresolved.
+	Unresolved int
+}
+
+// NewDataset prepares an empty dataset for the given day range.
+func NewDataset(startDay, endDay int) *Dataset {
+	ds := &Dataset{
+		StartDay: startDay,
+		EndDay:   endDay,
+		Peers:    make(map[netdb.Hash]*PeerTrack),
+	}
+	for d := startDay; d < endDay; d++ {
+		ds.Days = append(ds.Days, newDayStats(d))
+	}
+	return ds
+}
+
+// day returns the DayStats for an absolute study day.
+func (ds *Dataset) day(d int) *DayStats {
+	return ds.Days[d-ds.StartDay]
+}
+
+// track returns (creating if needed) the PeerTrack for a hash.
+func (ds *Dataset) track(h netdb.Hash) *PeerTrack {
+	t, ok := ds.Peers[h]
+	if !ok {
+		t = &PeerTrack{
+			Hash:         h,
+			FirstDay:     -1,
+			SeenDays:     make([]bool, ds.EndDay-ds.StartDay),
+			IPs:          make(map[netip.Addr]bool),
+			ASNs:         make(map[uint32]bool),
+			Countries:    make(map[string]bool),
+			Classes:      make(map[netdb.BandwidthClass]bool),
+			primaryCount: make(map[netdb.BandwidthClass]int),
+		}
+		ds.Peers[h] = t
+	}
+	return t
+}
+
+// TotalPeers returns the number of distinct peers observed.
+func (ds *Dataset) TotalPeers() int { return len(ds.Peers) }
+
+// MeanDailyPeers returns the average daily unique-peer count.
+func (ds *Dataset) MeanDailyPeers() float64 {
+	if len(ds.Days) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, d := range ds.Days {
+		sum += d.Peers
+	}
+	return float64(sum) / float64(len(ds.Days))
+}

@@ -1,0 +1,94 @@
+package measure
+
+import "sort"
+
+// This file implements a right-censored lifetime estimator for the churn
+// analysis. The paper's Figure 7 statistic ("percentage of peers seen for
+// at least n days") is biased downward near the end of a finite campaign:
+// a peer first seen ten days before the study ends can never exhibit a
+// 30-day span even if it stays for months. The Kaplan–Meier estimator
+// treats peers still present on the final day as censored rather than
+// dead, correcting the bias — the standard tool for exactly this problem,
+// and the extension we use to check the 45-day default horizon against the
+// paper's 90-day numbers.
+
+// SurvivalPoint is one step of the estimated survival function.
+type SurvivalPoint struct {
+	// Days is the lifetime t.
+	Days int
+	// Probability is the estimated P(lifetime >= t).
+	Probability float64
+}
+
+// SurvivalCurve computes the Kaplan–Meier estimate of peer intermittent
+// lifetime (first-to-last span). A peer whose last observation falls on
+// the campaign's final day is right-censored: its true lifetime is only
+// known to be at least its observed span.
+func (ds *Dataset) SurvivalCurve() []SurvivalPoint {
+	lastDay := ds.EndDay - 1
+	type obs struct {
+		duration int
+		died     bool
+	}
+	var observations []obs
+	for _, t := range ds.Peers {
+		if t.FirstDay < 0 {
+			continue
+		}
+		observations = append(observations, obs{
+			duration: t.Span(),
+			died:     t.LastDay < lastDay,
+		})
+	}
+	if len(observations) == 0 {
+		return nil
+	}
+	sort.Slice(observations, func(i, j int) bool {
+		return observations[i].duration < observations[j].duration
+	})
+
+	var curve []SurvivalPoint
+	surv := 1.0
+	atRisk := len(observations)
+	i := 0
+	curve = append(curve, SurvivalPoint{Days: 0, Probability: 1})
+	for i < len(observations) {
+		d := observations[i].duration
+		deaths, leaving := 0, 0
+		for i < len(observations) && observations[i].duration == d {
+			if observations[i].died {
+				deaths++
+			}
+			leaving++
+			i++
+		}
+		if deaths > 0 && atRisk > 0 {
+			surv *= 1 - float64(deaths)/float64(atRisk)
+		}
+		curve = append(curve, SurvivalPoint{Days: d, Probability: surv})
+		atRisk -= leaving
+	}
+	return curve
+}
+
+// SurvivalAt returns the Kaplan–Meier P(lifetime >= n days) in percent,
+// interpolating the step function. It is the censoring-corrected
+// counterpart of ChurnAt(n).Intermittent.
+func (ds *Dataset) SurvivalAt(n int) float64 {
+	curve := ds.SurvivalCurve()
+	if len(curve) == 0 {
+		return 0
+	}
+	// The survival function is right-continuous: P(T >= n) is the value
+	// just before the step at n, i.e. the probability at the largest
+	// duration < n... with spans measured inclusively, P(T >= n) is the
+	// curve value at the last point with Days < n.
+	p := 1.0
+	for _, pt := range curve {
+		if pt.Days >= n {
+			break
+		}
+		p = pt.Probability
+	}
+	return 100 * p
+}

@@ -1,0 +1,40 @@
+package netdb
+
+import (
+	"encoding/base32"
+	"fmt"
+	"strings"
+)
+
+// I2P's .b32.i2p addresses are the lowercase, unpadded base32 encoding of
+// a destination hash followed by the ".b32.i2p" suffix. Eepsite
+// destinations (the records Gao et al. crawled in the related work the
+// paper cites) are usually shared in this form.
+
+// B32Suffix is the address suffix of base32 destination names.
+const B32Suffix = ".b32.i2p"
+
+var b32Encoding = base32.StdEncoding.WithPadding(base32.NoPadding)
+
+// B32 returns the .b32.i2p address for the hash.
+func (h Hash) B32() string {
+	return strings.ToLower(b32Encoding.EncodeToString(h[:])) + B32Suffix
+}
+
+// ParseB32 decodes a .b32.i2p address back into a destination hash.
+func ParseB32(addr string) (Hash, error) {
+	var h Hash
+	if !strings.HasSuffix(addr, B32Suffix) {
+		return h, fmt.Errorf("netdb: %q is not a %s address", addr, B32Suffix)
+	}
+	enc := strings.ToUpper(strings.TrimSuffix(addr, B32Suffix))
+	raw, err := b32Encoding.DecodeString(enc)
+	if err != nil {
+		return h, fmt.Errorf("netdb: parse b32 address: %w", err)
+	}
+	if len(raw) != HashSize {
+		return h, fmt.Errorf("netdb: b32 address decodes to %d bytes, want %d", len(raw), HashSize)
+	}
+	copy(h[:], raw)
+	return h, nil
+}

@@ -1,0 +1,245 @@
+package netdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BandwidthClass is the single-letter shared-bandwidth tier a router
+// advertises in its capacity flags. The thresholds follow the paper's
+// Section 5.3.1 exactly:
+//
+//	K  < 12 KB/s
+//	L  12–48 KB/s (the software default)
+//	M  48–64 KB/s
+//	N  64–128 KB/s
+//	O  128–256 KB/s
+//	P  256–2000 KB/s
+//	X  > 2000 KB/s
+type BandwidthClass byte
+
+// Bandwidth classes in ascending capacity order.
+const (
+	ClassK BandwidthClass = 'K'
+	ClassL BandwidthClass = 'L'
+	ClassM BandwidthClass = 'M'
+	ClassN BandwidthClass = 'N'
+	ClassO BandwidthClass = 'O'
+	ClassP BandwidthClass = 'P'
+	ClassX BandwidthClass = 'X'
+)
+
+// BandwidthClasses lists every class in ascending capacity order.
+var BandwidthClasses = []BandwidthClass{ClassK, ClassL, ClassM, ClassN, ClassO, ClassP, ClassX}
+
+// classUpperKBps maps each class to its exclusive upper bound in KB/s;
+// ClassX is unbounded.
+var classUpperKBps = map[BandwidthClass]int{
+	ClassK: 12,
+	ClassL: 48,
+	ClassM: 64,
+	ClassN: 128,
+	ClassO: 256,
+	ClassP: 2000,
+}
+
+// ClassForRate returns the bandwidth class for a shared bandwidth of
+// rateKBps kilobytes per second.
+func ClassForRate(rateKBps int) BandwidthClass {
+	switch {
+	case rateKBps < 12:
+		return ClassK
+	case rateKBps < 48:
+		return ClassL
+	case rateKBps < 64:
+		return ClassM
+	case rateKBps < 128:
+		return ClassN
+	case rateKBps < 256:
+		return ClassO
+	case rateKBps <= 2000:
+		return ClassP
+	default:
+		return ClassX
+	}
+}
+
+// RangeKBps returns the inclusive lower and exclusive upper bound of the
+// class in KB/s. For ClassX the upper bound is -1 (unbounded).
+func (c BandwidthClass) RangeKBps() (lo, hi int) {
+	switch c {
+	case ClassK:
+		return 0, 12
+	case ClassL:
+		return 12, 48
+	case ClassM:
+		return 48, 64
+	case ClassN:
+		return 64, 128
+	case ClassO:
+		return 128, 256
+	case ClassP:
+		return 256, 2000
+	case ClassX:
+		return 2000, -1
+	default:
+		return 0, 0
+	}
+}
+
+// Valid reports whether c is one of the seven defined classes.
+func (c BandwidthClass) Valid() bool {
+	_, ok := classUpperKBps[c]
+	return ok || c == ClassX
+}
+
+// Index returns the position of the class in ascending capacity order
+// (K=0 .. X=6), or -1 for an invalid class.
+func (c BandwidthClass) Index() int {
+	for i, cl := range BandwidthClasses {
+		if cl == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// AtLeast reports whether c advertises at least as much bandwidth as other.
+func (c BandwidthClass) AtLeast(other BandwidthClass) bool {
+	return c.Index() >= other.Index()
+}
+
+func (c BandwidthClass) String() string { return string(rune(c)) }
+
+// FloodfillMinClass is the minimum bandwidth class for automatic floodfill
+// opt-in: "a peer needs to have at least an N flag in order to become a
+// floodfill router automatically" (Section 5.3.1). The bandwidth floor is
+// FloodfillMinRateKBps.
+const FloodfillMinClass = ClassN
+
+// FloodfillMinRateKBps is the minimum shared bandwidth (KB/s) required to
+// gain the floodfill flag: "128 KB/s ... is the minimum required value for
+// a router to be able to gain the floodfill flag" (Section 4.2).
+const FloodfillMinRateKBps = 128
+
+// Caps is the parsed capacity field of a RouterInfo: the bandwidth class
+// letter plus the floodfill, reachability and hidden flags. The paper's
+// example "OfR" denotes a reachable floodfill with 128–256 KB/s shared
+// bandwidth.
+type Caps struct {
+	// Class is the advertised bandwidth tier.
+	Class BandwidthClass
+	// LegacyO records the backwards-compatibility behaviour from
+	// Section 5.3.1: since 0.9.20 a P- or X-class router also publishes an
+	// O flag so older software keeps working. When true, Encode emits the
+	// extra O.
+	LegacyO bool
+	// Floodfill is the 'f' flag.
+	Floodfill bool
+	// Reachable is the 'R' flag; Unreachable is the 'U' flag. A RouterInfo
+	// normally carries exactly one of the two, but real records have been
+	// observed with neither (freshly restarted routers), so both are
+	// tracked independently.
+	Reachable   bool
+	Unreachable bool
+	// Hidden is the 'H' flag: the router does not publish addresses and
+	// does not route for others.
+	Hidden bool
+}
+
+// NewCaps returns Caps for the given shared bandwidth with the LegacyO
+// compatibility flag set when applicable.
+func NewCaps(rateKBps int, floodfill, reachable bool) Caps {
+	class := ClassForRate(rateKBps)
+	return Caps{
+		Class:       class,
+		LegacyO:     class == ClassP || class == ClassX,
+		Floodfill:   floodfill,
+		Reachable:   reachable,
+		Unreachable: !reachable,
+	}
+}
+
+// Encode renders the capacity string, e.g. "OfR", "LU", "PORf". Letters are
+// emitted in I2P's conventional order: bandwidth class (plus legacy O),
+// then f, then R/U, then H.
+func (c Caps) Encode() string {
+	var b strings.Builder
+	b.WriteByte(byte(c.Class))
+	if c.LegacyO && c.Class != ClassO {
+		b.WriteByte(byte(ClassO))
+	}
+	if c.Floodfill {
+		b.WriteByte('f')
+	}
+	if c.Reachable {
+		b.WriteByte('R')
+	}
+	if c.Unreachable {
+		b.WriteByte('U')
+	}
+	if c.Hidden {
+		b.WriteByte('H')
+	}
+	return b.String()
+}
+
+// ParseCaps parses a capacity string. Multiple bandwidth letters may be
+// present for backwards compatibility (Section 5.3.1: "a peer may publish
+// more than one bandwidth letter at the same time"); the highest class
+// wins and LegacyO records that an extra O accompanied a P or X.
+func ParseCaps(s string) (Caps, error) {
+	var c Caps
+	sawClass := false
+	sawO := false
+	for _, r := range s {
+		switch {
+		case r == 'f':
+			c.Floodfill = true
+		case r == 'R':
+			c.Reachable = true
+		case r == 'U':
+			c.Unreachable = true
+		case r == 'H':
+			c.Hidden = true
+		default:
+			cl := BandwidthClass(r)
+			if !cl.Valid() {
+				return Caps{}, fmt.Errorf("netdb: parse caps %q: unknown flag %q", s, r)
+			}
+			if cl == ClassO {
+				sawO = true
+			}
+			if !sawClass || cl.Index() > c.Class.Index() {
+				c.Class = cl
+				sawClass = true
+			}
+		}
+	}
+	if !sawClass {
+		return Caps{}, fmt.Errorf("netdb: parse caps %q: no bandwidth class", s)
+	}
+	c.LegacyO = sawO && (c.Class == ClassP || c.Class == ClassX)
+	return c, nil
+}
+
+// PublishedClasses returns every bandwidth letter the router advertises,
+// i.e. the primary class plus the legacy O when present. Measurement code
+// that counts "peers with an O flag" must use this to reproduce the
+// double-counting the paper describes (the sum over flags exceeding 100%).
+func (c Caps) PublishedClasses() []BandwidthClass {
+	if c.LegacyO && c.Class != ClassO {
+		return []BandwidthClass{c.Class, ClassO}
+	}
+	return []BandwidthClass{c.Class}
+}
+
+// QualifiedFloodfill reports whether the router meets the automatic
+// floodfill requirements (floodfill flag plus at least class N). The paper
+// uses this to separate manually enabled, under-provisioned floodfills from
+// qualified ones (Section 5.3.1).
+func (c Caps) QualifiedFloodfill() bool {
+	return c.Floodfill && c.Class.AtLeast(FloodfillMinClass)
+}
+
+func (c Caps) String() string { return c.Encode() }

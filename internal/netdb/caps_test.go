@@ -1,0 +1,160 @@
+package netdb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassForRateBoundaries(t *testing.T) {
+	cases := []struct {
+		rate int
+		want BandwidthClass
+	}{
+		{0, ClassK}, {11, ClassK},
+		{12, ClassL}, {47, ClassL},
+		{48, ClassM}, {63, ClassM},
+		{64, ClassN}, {127, ClassN},
+		{128, ClassO}, {255, ClassO},
+		{256, ClassP}, {2000, ClassP},
+		{2001, ClassX}, {8192, ClassX},
+	}
+	for _, c := range cases {
+		if got := ClassForRate(c.rate); got != c.want {
+			t.Errorf("ClassForRate(%d) = %v, want %v", c.rate, got, c.want)
+		}
+	}
+}
+
+func TestClassRangeConsistency(t *testing.T) {
+	// Every rate must fall inside the range its class reports.
+	for rate := 0; rate <= 4000; rate++ {
+		cl := ClassForRate(rate)
+		lo, hi := cl.RangeKBps()
+		if rate < lo {
+			t.Fatalf("rate %d below class %v lower bound %d", rate, cl, lo)
+		}
+		if hi != -1 && rate > hi && !(cl == ClassP && rate == hi) {
+			// P's upper bound is inclusive at 2000 per the paper's table
+			// ("256-2000 KB/s").
+			if rate > hi {
+				t.Fatalf("rate %d above class %v upper bound %d", rate, cl, hi)
+			}
+		}
+	}
+}
+
+func TestClassOrdering(t *testing.T) {
+	for i := 1; i < len(BandwidthClasses); i++ {
+		lo, hi := BandwidthClasses[i-1], BandwidthClasses[i]
+		if !hi.AtLeast(lo) {
+			t.Errorf("%v should be at least %v", hi, lo)
+		}
+		if lo.AtLeast(hi) {
+			t.Errorf("%v should not be at least %v", lo, hi)
+		}
+	}
+	if !ClassX.AtLeast(ClassX) {
+		t.Error("class must be AtLeast itself")
+	}
+}
+
+func TestCapsEncodeExamples(t *testing.T) {
+	// The paper's example: "OfR ... a reachable floodfill router with a
+	// shared bandwidth of 128–256 KB/s".
+	c := NewCaps(200, true, true)
+	if got := c.Encode(); got != "OfR" {
+		t.Fatalf("Encode() = %q, want %q", got, "OfR")
+	}
+	// Default-bandwidth unreachable peer.
+	c = NewCaps(20, false, false)
+	if got := c.Encode(); got != "LU" {
+		t.Fatalf("Encode() = %q, want %q", got, "LU")
+	}
+	// P and X carry the legacy O for pre-0.9.20 compatibility.
+	c = NewCaps(500, false, true)
+	if got := c.Encode(); got != "POR" {
+		t.Fatalf("Encode() = %q, want %q", got, "POR")
+	}
+	c = NewCaps(3000, true, true)
+	if got := c.Encode(); got != "XOfR" {
+		t.Fatalf("Encode() = %q, want %q", got, "XOfR")
+	}
+}
+
+func TestParseCapsLegacyO(t *testing.T) {
+	c, err := ParseCaps("POR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != ClassP {
+		t.Fatalf("class = %v, want P (highest class wins)", c.Class)
+	}
+	if !c.LegacyO {
+		t.Fatal("LegacyO not detected")
+	}
+	got := c.PublishedClasses()
+	if len(got) != 2 || got[0] != ClassP || got[1] != ClassO {
+		t.Fatalf("PublishedClasses() = %v, want [P O]", got)
+	}
+}
+
+func TestParseCapsErrors(t *testing.T) {
+	for _, s := range []string{"", "fR", "Z", "LQ"} {
+		if _, err := ParseCaps(s); err == nil {
+			t.Errorf("ParseCaps(%q): expected error", s)
+		}
+	}
+}
+
+func TestCapsRoundTrip(t *testing.T) {
+	f := func(rate uint16, floodfill, reachable, hidden bool) bool {
+		c := NewCaps(int(rate), floodfill, reachable)
+		c.Hidden = hidden
+		parsed, err := ParseCaps(c.Encode())
+		if err != nil {
+			return false
+		}
+		return parsed == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQualifiedFloodfill(t *testing.T) {
+	cases := []struct {
+		rate      int
+		floodfill bool
+		want      bool
+	}{
+		{500, true, true},   // P floodfill: qualified
+		{100, true, true},   // N floodfill: exactly the minimum class
+		{50, true, false},   // M floodfill: manually enabled, unqualified
+		{20, true, false},   // L floodfill: unqualified
+		{500, false, false}, // not a floodfill at all
+	}
+	for _, c := range cases {
+		caps := NewCaps(c.rate, c.floodfill, true)
+		if got := caps.QualifiedFloodfill(); got != c.want {
+			t.Errorf("QualifiedFloodfill(rate=%d ff=%v) = %v, want %v", c.rate, c.floodfill, got, c.want)
+		}
+	}
+}
+
+func TestFloodfillMinimums(t *testing.T) {
+	// Section 4.2: 128 KB/s is the minimum for the floodfill flag, and the
+	// class at that rate must be at least N (the automatic opt-in floor).
+	cl := ClassForRate(FloodfillMinRateKBps)
+	if !cl.AtLeast(FloodfillMinClass) {
+		t.Fatalf("class at floodfill minimum rate = %v, below %v", cl, FloodfillMinClass)
+	}
+}
+
+func TestClassIndexInvalid(t *testing.T) {
+	if BandwidthClass('Z').Index() != -1 {
+		t.Fatal("invalid class should have index -1")
+	}
+	if BandwidthClass('Z').Valid() {
+		t.Fatal("Z must not be a valid class")
+	}
+}

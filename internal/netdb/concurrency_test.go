@@ -1,0 +1,73 @@
+package netdb
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStoreConcurrentAccess hammers the store from many goroutines; run
+// with -race to validate the locking discipline.
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore(true)
+	now := time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+	const writers = 8
+	const perWriter = 200
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := uint64(w*perWriter + i)
+				s.PutRouterInfo(riAt(id, now.Add(time.Duration(i)*time.Second), w%2 == 0), now)
+				if i%10 == 0 {
+					s.Expire(now.Add(30 * time.Minute))
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = s.RouterCount()
+				_ = s.RouterHashes()
+				_ = s.ClosestRouters(HashFromUint64(uint64(i)), 4, now)
+				_ = s.RouterInfo(HashFromUint64(uint64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	if s.RouterCount() != writers*perWriter {
+		t.Fatalf("count = %d, want %d", s.RouterCount(), writers*perWriter)
+	}
+}
+
+// TestStorePutConcurrentSameKey: concurrent writers to one identity must
+// settle on the freshest record.
+func TestStorePutConcurrentSameKey(t *testing.T) {
+	s := NewStore(false)
+	now := time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.PutRouterInfo(riAt(1, now.Add(time.Duration(i)*time.Minute), false), now)
+		}(i)
+	}
+	wg.Wait()
+	got := s.RouterInfo(HashFromUint64(1))
+	if got == nil {
+		t.Fatal("record missing")
+	}
+	want := now.Add(time.Duration(n-1) * time.Minute)
+	if !got.Published.Equal(want) {
+		t.Fatalf("published = %v, want freshest %v", got.Published, want)
+	}
+}

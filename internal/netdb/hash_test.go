@@ -1,0 +1,211 @@
+package netdb
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHashStringRoundTrip(t *testing.T) {
+	h := HashFromUint64(42)
+	s := h.String()
+	got, err := ParseHash(s)
+	if err != nil {
+		t.Fatalf("ParseHash(%q): %v", s, err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch: got %v want %v", got, h)
+	}
+}
+
+func TestHashStringUsesI2PAlphabet(t *testing.T) {
+	// I2P base64 must never contain '+' or '/'.
+	for i := uint64(0); i < 500; i++ {
+		s := HashFromUint64(i).String()
+		for _, r := range s {
+			if r == '+' || r == '/' {
+				t.Fatalf("hash %d encodes with standard base64 rune %q: %s", i, r, s)
+			}
+		}
+	}
+}
+
+func TestParseHashErrors(t *testing.T) {
+	cases := []string{"", "!!!!", "AAAA", "not base64 at all %%"}
+	for _, c := range cases {
+		if _, err := ParseHash(c); err == nil {
+			t.Errorf("ParseHash(%q): expected error", c)
+		}
+	}
+}
+
+func TestHashFromUint64Distinct(t *testing.T) {
+	seen := make(map[Hash]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		h := HashFromUint64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision between %d and %d", prev, i)
+		}
+		seen[h] = i
+	}
+}
+
+func TestXORProperties(t *testing.T) {
+	// x XOR x == 0; XOR is commutative; XOR with zero is identity.
+	f := func(a, b [HashSize]byte) bool {
+		ha, hb := Hash(a), Hash(b)
+		if !ha.XOR(ha).IsZero() {
+			return false
+		}
+		if ha.XOR(hb) != hb.XOR(ha) {
+			return false
+		}
+		var zero Hash
+		return ha.XOR(zero) == ha
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceLessTriangleish(t *testing.T) {
+	// d(t,a) < d(t,b) and d(t,b) < d(t,c) implies d(t,a) < d(t,c):
+	// strict ordering is transitive.
+	f := func(tg, a, b, c [HashSize]byte) bool {
+		target, ha, hb, hc := Hash(tg), Hash(a), Hash(b), Hash(c)
+		if DistanceLess(target, ha, hb) && DistanceLess(target, hb, hc) {
+			return DistanceLess(target, ha, hc)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceLessSelf(t *testing.T) {
+	a := HashFromUint64(1)
+	if DistanceLess(a, a, a) {
+		t.Fatal("a is not strictly closer to itself than itself")
+	}
+	b := HashFromUint64(2)
+	// a is at distance zero from itself; any distinct b is farther.
+	if !DistanceLess(a, a, b) {
+		t.Fatal("self must be closest to self")
+	}
+}
+
+func TestLeadingZeros(t *testing.T) {
+	var h Hash
+	if got := h.LeadingZeros(); got != 256 {
+		t.Fatalf("zero hash leading zeros = %d, want 256", got)
+	}
+	h[0] = 0x80
+	if got := h.LeadingZeros(); got != 0 {
+		t.Fatalf("0x80... leading zeros = %d, want 0", got)
+	}
+	h[0] = 0x01
+	if got := h.LeadingZeros(); got != 7 {
+		t.Fatalf("0x01... leading zeros = %d, want 7", got)
+	}
+	h[0] = 0
+	h[1] = 0x40
+	if got := h.LeadingZeros(); got != 9 {
+		t.Fatalf("0x00 0x40... leading zeros = %d, want 9", got)
+	}
+}
+
+func TestRoutingKeyRotatesDaily(t *testing.T) {
+	h := HashFromUint64(7)
+	day1 := time.Date(2018, 2, 1, 12, 0, 0, 0, time.UTC)
+	day1later := time.Date(2018, 2, 1, 23, 59, 59, 0, time.UTC)
+	day2 := time.Date(2018, 2, 2, 0, 0, 1, 0, time.UTC)
+
+	k1 := h.RoutingKey(day1)
+	k1b := h.RoutingKey(day1later)
+	k2 := h.RoutingKey(day2)
+
+	if k1 != k1b {
+		t.Fatal("routing key changed within the same UTC day")
+	}
+	if k1 == k2 {
+		t.Fatal("routing key did not rotate at UTC midnight")
+	}
+	if k1 == h || k2 == h {
+		t.Fatal("routing key equals identity hash")
+	}
+}
+
+func TestRoutingKeyUsesUTC(t *testing.T) {
+	h := HashFromUint64(9)
+	// 2018-02-01 23:30 UTC vs the same instant expressed in UTC+5 — the
+	// routing key must be identical because it is derived from UTC.
+	utc := time.Date(2018, 2, 1, 23, 30, 0, 0, time.UTC)
+	east := utc.In(time.FixedZone("UTC+5", 5*3600))
+	if h.RoutingKey(utc) != h.RoutingKey(east) {
+		t.Fatal("routing key differs across representations of the same instant")
+	}
+}
+
+func TestHashLessIsStrictWeakOrder(t *testing.T) {
+	f := func(a, b [HashSize]byte) bool {
+		ha, hb := Hash(a), Hash(b)
+		if ha == hb {
+			return !ha.Less(hb) && !hb.Less(ha)
+		}
+		return ha.Less(hb) != hb.Less(ha)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortAndIsZero(t *testing.T) {
+	var zero Hash
+	if !zero.IsZero() {
+		t.Fatal("zero hash should report IsZero")
+	}
+	h := HashFromUint64(3)
+	if h.IsZero() {
+		t.Fatal("non-zero hash reports IsZero")
+	}
+	if len(h.Short()) != 8 {
+		t.Fatalf("Short() length = %d, want 8", len(h.Short()))
+	}
+}
+
+func TestB32RoundTrip(t *testing.T) {
+	for i := uint64(0); i < 200; i++ {
+		h := HashFromUint64(i)
+		addr := h.B32()
+		if !strings.HasSuffix(addr, B32Suffix) {
+			t.Fatalf("address %q lacks suffix", addr)
+		}
+		if addr != strings.ToLower(addr) {
+			t.Fatalf("address %q not lowercase", addr)
+		}
+		got, err := ParseB32(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != h {
+			t.Fatal("b32 round trip mismatch")
+		}
+	}
+}
+
+func TestParseB32Errors(t *testing.T) {
+	cases := []string{
+		"",
+		"example.i2p",
+		"tooshort.b32.i2p",
+		strings.Repeat("a", 56) + ".b32.i2p", // decodes to 35 bytes, not 32
+		"!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!" + B32Suffix,
+	}
+	for _, c := range cases {
+		if _, err := ParseB32(c); err == nil {
+			t.Errorf("ParseB32(%q) accepted", c)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package netdb
+
+import (
+	"sort"
+	"time"
+)
+
+// FloodFanout is how many of its closest floodfill routers a floodfill
+// forwards a fresh entry to: "the floodfill router 'floods' the netDb entry
+// to three others among its closest floodfill routers" (Section 4.2). The
+// simulator exposes it as a parameter for the fan-out ablation bench.
+const FloodFanout = 3
+
+// ClosestTo returns the n candidate hashes closest to target under the XOR
+// metric over daily routing keys at time t. This is the selection rule for
+// both "which floodfills store this record" and "which floodfills to flood
+// to". The input slice is not modified.
+func ClosestTo(target Hash, candidates []Hash, n int, t time.Time) []Hash {
+	if n <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	targetKey := target.RoutingKey(t)
+	type scored struct {
+		h   Hash
+		key Hash
+	}
+	xs := make([]scored, len(candidates))
+	for i, c := range candidates {
+		xs[i] = scored{c, c.RoutingKey(t)}
+	}
+	sort.Slice(xs, func(i, j int) bool {
+		return DistanceLess(targetKey, xs[i].key, xs[j].key)
+	})
+	if n > len(xs) {
+		n = len(xs)
+	}
+	out := make([]Hash, n)
+	for i := range out {
+		out[i] = xs[i].h
+	}
+	return out
+}
+
+// bucketCount is the number of k-buckets in the routing table — one per
+// possible shared-prefix length.
+const bucketCount = HashSize * 8
+
+// KBuckets is a Kademlia-style routing table keyed by XOR distance to a
+// local identity. Floodfill routers use it to find peers close to a lookup
+// key; it is a variation of the Kademlia algorithm the paper cites
+// (Maymounkov & Mazieres 2002).
+type KBuckets struct {
+	self    Hash
+	k       int
+	buckets [bucketCount][]Hash
+	present map[Hash]bool
+}
+
+// NewKBuckets returns a table for the given local identity with at most k
+// entries per bucket.
+func NewKBuckets(self Hash, k int) *KBuckets {
+	if k <= 0 {
+		k = 8
+	}
+	return &KBuckets{self: self, k: k, present: make(map[Hash]bool)}
+}
+
+// bucketIndex returns which bucket h falls into: the number of leading
+// shared bits with self. The self hash itself has no bucket.
+func (t *KBuckets) bucketIndex(h Hash) int {
+	d := t.self.XOR(h)
+	lz := d.LeadingZeros()
+	if lz >= bucketCount {
+		return -1 // identical to self
+	}
+	return lz
+}
+
+// Insert adds h to the table. It reports whether the hash was stored (false
+// when the bucket is full, the hash equals self, or it is already present —
+// unlike real Kademlia there is no LRU eviction ping, which the study does
+// not need).
+func (t *KBuckets) Insert(h Hash) bool {
+	if t.present[h] {
+		return false
+	}
+	idx := t.bucketIndex(h)
+	if idx < 0 {
+		return false
+	}
+	if len(t.buckets[idx]) >= t.k {
+		return false
+	}
+	t.buckets[idx] = append(t.buckets[idx], h)
+	t.present[h] = true
+	return true
+}
+
+// Remove deletes h from the table, reporting whether it was present.
+func (t *KBuckets) Remove(h Hash) bool {
+	if !t.present[h] {
+		return false
+	}
+	idx := t.bucketIndex(h)
+	if idx >= 0 {
+		b := t.buckets[idx]
+		for i, x := range b {
+			if x == h {
+				t.buckets[idx] = append(b[:i], b[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(t.present, h)
+	return true
+}
+
+// Contains reports whether h is stored.
+func (t *KBuckets) Contains(h Hash) bool { return t.present[h] }
+
+// Len returns the number of stored hashes.
+func (t *KBuckets) Len() int { return len(t.present) }
+
+// All returns every stored hash in bucket order (closest buckets last).
+func (t *KBuckets) All() []Hash {
+	out := make([]Hash, 0, len(t.present))
+	for i := range t.buckets {
+		out = append(out, t.buckets[i]...)
+	}
+	return out
+}
+
+// Closest returns up to n stored hashes closest to target under the plain
+// XOR metric (no routing-key rotation; callers that need daily rotation use
+// ClosestTo).
+func (t *KBuckets) Closest(target Hash, n int) []Hash {
+	all := t.All()
+	sort.Slice(all, func(i, j int) bool {
+		return DistanceLess(target, all[i], all[j])
+	})
+	if n < len(all) {
+		all = all[:n]
+	}
+	return all
+}

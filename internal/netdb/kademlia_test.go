@@ -1,0 +1,175 @@
+package netdb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClosestToOrdersByDistance(t *testing.T) {
+	at := time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+	target := HashFromUint64(0)
+	var cands []Hash
+	for i := uint64(1); i <= 50; i++ {
+		cands = append(cands, HashFromUint64(i))
+	}
+	got := ClosestTo(target, cands, 10, at)
+	if len(got) != 10 {
+		t.Fatalf("got %d, want 10", len(got))
+	}
+	// Verify ordering: each returned element is no farther (on routing
+	// keys) than the next.
+	tk := target.RoutingKey(at)
+	for i := 1; i < len(got); i++ {
+		a := got[i-1].RoutingKey(at)
+		b := got[i].RoutingKey(at)
+		if DistanceLess(tk, b, a) {
+			t.Fatalf("result %d closer than result %d", i, i-1)
+		}
+	}
+	// And every excluded candidate is at least as far as the last result.
+	last := got[len(got)-1].RoutingKey(at)
+	inResult := make(map[Hash]bool)
+	for _, h := range got {
+		inResult[h] = true
+	}
+	for _, c := range cands {
+		if inResult[c] {
+			continue
+		}
+		ck := c.RoutingKey(at)
+		if DistanceLess(tk, ck, last) {
+			t.Fatalf("candidate %s closer than final result but excluded", c.Short())
+		}
+	}
+}
+
+func TestClosestToRotatesWithDate(t *testing.T) {
+	target := HashFromUint64(0)
+	var cands []Hash
+	for i := uint64(1); i <= 200; i++ {
+		cands = append(cands, HashFromUint64(i))
+	}
+	day1 := time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+	day2 := day1.Add(24 * time.Hour)
+	got1 := ClosestTo(target, cands, 5, day1)
+	got2 := ClosestTo(target, cands, 5, day2)
+	same := true
+	for i := range got1 {
+		if got1[i] != got2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("closest floodfill set did not rotate across UTC days")
+	}
+}
+
+func TestClosestToEdgeCases(t *testing.T) {
+	at := time.Now()
+	if got := ClosestTo(HashFromUint64(1), nil, 3, at); got != nil {
+		t.Fatalf("empty candidates should return nil, got %v", got)
+	}
+	if got := ClosestTo(HashFromUint64(1), []Hash{HashFromUint64(2)}, 0, at); got != nil {
+		t.Fatalf("n=0 should return nil, got %v", got)
+	}
+	got := ClosestTo(HashFromUint64(1), []Hash{HashFromUint64(2)}, 5, at)
+	if len(got) != 1 {
+		t.Fatalf("n larger than candidates: got %d, want 1", len(got))
+	}
+}
+
+func TestKBucketsInsertRemove(t *testing.T) {
+	self := HashFromUint64(0)
+	kb := NewKBuckets(self, 8)
+	if kb.Insert(self) {
+		t.Fatal("self must not be insertable")
+	}
+	var hs []Hash
+	for i := uint64(1); i <= 100; i++ {
+		hs = append(hs, HashFromUint64(i))
+	}
+	inserted := 0
+	for _, h := range hs {
+		if kb.Insert(h) {
+			inserted++
+		}
+	}
+	if inserted == 0 || kb.Len() != inserted {
+		t.Fatalf("inserted %d, Len %d", inserted, kb.Len())
+	}
+	if kb.Insert(hs[0]) {
+		t.Fatal("duplicate insert should fail")
+	}
+	if !kb.Contains(hs[0]) {
+		t.Fatal("Contains lost an inserted hash")
+	}
+	if !kb.Remove(hs[0]) {
+		t.Fatal("Remove failed for present hash")
+	}
+	if kb.Remove(hs[0]) {
+		t.Fatal("Remove succeeded twice")
+	}
+	if kb.Contains(hs[0]) {
+		t.Fatal("removed hash still present")
+	}
+}
+
+func TestKBucketsBucketCapacity(t *testing.T) {
+	self := HashFromUint64(0)
+	kb := NewKBuckets(self, 2)
+	// Most random hashes differ from self in the first bit, so bucket 0
+	// fills quickly; after capacity, inserts into that bucket must fail.
+	full := 0
+	for i := uint64(1); i < 200; i++ {
+		h := HashFromUint64(i)
+		if self.XOR(h).LeadingZeros() == 0 {
+			if kb.Insert(h) {
+				full++
+			}
+			if full == 2 {
+				break
+			}
+		}
+	}
+	if full != 2 {
+		t.Skip("could not fill bucket 0 with test hashes")
+	}
+	for i := uint64(200); i < 400; i++ {
+		h := HashFromUint64(i)
+		if self.XOR(h).LeadingZeros() == 0 {
+			if kb.Insert(h) {
+				t.Fatal("insert into full bucket succeeded")
+			}
+			break
+		}
+	}
+}
+
+func TestKBucketsClosest(t *testing.T) {
+	self := HashFromUint64(0)
+	kb := NewKBuckets(self, 16)
+	for i := uint64(1); i <= 64; i++ {
+		kb.Insert(HashFromUint64(i))
+	}
+	target := HashFromUint64(1000)
+	got := kb.Closest(target, 5)
+	if len(got) != 5 {
+		t.Fatalf("got %d, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if DistanceLess(target, got[i], got[i-1]) {
+			t.Fatal("Closest results out of order")
+		}
+	}
+	if len(kb.All()) != kb.Len() {
+		t.Fatal("All() length disagrees with Len()")
+	}
+}
+
+func TestNewKBucketsDefaultK(t *testing.T) {
+	kb := NewKBuckets(HashFromUint64(1), 0)
+	if kb.k != 8 {
+		t.Fatalf("default k = %d, want 8", kb.k)
+	}
+}

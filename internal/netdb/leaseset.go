@@ -1,0 +1,121 @@
+package netdb
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"time"
+)
+
+// Lease grants access to one inbound tunnel of a destination: the gateway
+// router of the tunnel, the tunnel ID at that gateway, and when the tunnel
+// expires. "Bob's LeaseSet tells Alice the contact information of the
+// tunnel gateway of Bob's inbound tunnel" (Section 2.1.2).
+type Lease struct {
+	Gateway  Hash
+	TunnelID uint32
+	Expires  time.Time
+}
+
+// LeaseSet is the netDb record for a hidden-service destination (for
+// example an eepsite): the set of inbound-tunnel leases through which the
+// destination can currently be reached.
+type LeaseSet struct {
+	// Destination is the service's identity hash.
+	Destination Hash
+	// Published is when the destination last stored this record.
+	Published time.Time
+	// Leases lists the currently valid inbound tunnel gateways.
+	Leases []Lease
+}
+
+// Expired reports whether every lease has expired at time t. An expired
+// LeaseSet is useless for reaching the destination and floodfills drop it.
+func (ls *LeaseSet) Expired(t time.Time) bool {
+	for _, l := range ls.Leases {
+		if l.Expires.After(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Latest returns the latest lease expiry, or the zero time when the set is
+// empty.
+func (ls *LeaseSet) Latest() time.Time {
+	var latest time.Time
+	for _, l := range ls.Leases {
+		if l.Expires.After(latest) {
+			latest = l.Expires
+		}
+	}
+	return latest
+}
+
+// Clone returns a deep copy.
+func (ls *LeaseSet) Clone() *LeaseSet {
+	out := *ls
+	out.Leases = append([]Lease(nil), ls.Leases...)
+	return &out
+}
+
+var lsMagic = [4]byte{'L', 'S', '0', '1'}
+
+// Encode serializes the LeaseSet with an integrity tag, mirroring
+// RouterInfo.Encode.
+func (ls *LeaseSet) Encode() ([]byte, error) {
+	var w wireWriter
+	w.buf.Write(lsMagic[:])
+	w.hash(ls.Destination)
+	w.timeMilli(ls.Published)
+	if len(ls.Leases) > 255 {
+		return nil, ErrFieldTooLong
+	}
+	w.u8(uint8(len(ls.Leases)))
+	for _, l := range ls.Leases {
+		w.hash(l.Gateway)
+		w.u32(l.TunnelID)
+		w.timeMilli(l.Expires)
+	}
+	payload := w.buf.Bytes()
+	tag := sha256.Sum256(payload)
+	return append(payload, tag[:]...), nil
+}
+
+// DecodeLeaseSet parses a record produced by Encode, verifying the
+// integrity tag.
+func DecodeLeaseSet(data []byte) (*LeaseSet, error) {
+	if len(data) < len(lsMagic)+HashSize {
+		return nil, ErrTruncated
+	}
+	body, tag := data[:len(data)-HashSize], data[len(data)-HashSize:]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], tag) {
+		return nil, ErrBadChecksum
+	}
+	r := &wireReader{b: body}
+	if m := r.take(4); m == nil || !bytes.Equal(m, lsMagic[:]) {
+		return nil, ErrBadMagic
+	}
+	ls := &LeaseSet{}
+	ls.Destination = r.hash()
+	ls.Published = r.timeMilli()
+	n := int(r.u8())
+	for i := 0; i < n && r.err == nil; i++ {
+		var l Lease
+		l.Gateway = r.hash()
+		l.TunnelID = r.u32()
+		l.Expires = r.timeMilli()
+		ls.Leases = append(ls.Leases, l)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("netdb: %d trailing bytes after LeaseSet", len(body)-r.off)
+	}
+	if ls.Destination.IsZero() {
+		return nil, ErrBadHash
+	}
+	return ls, nil
+}

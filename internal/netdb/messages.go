@@ -1,0 +1,202 @@
+package netdb
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// EntryType distinguishes the two kinds of netDb metadata (Section 2.1.2:
+// "The netDb contains two types of network metadata: LeaseSets and
+// RouterInfos").
+type EntryType uint8
+
+// Entry types carried in DatabaseStoreMessage.
+const (
+	EntryRouterInfo EntryType = 0
+	EntryLeaseSet   EntryType = 1
+)
+
+func (t EntryType) String() string {
+	switch t {
+	case EntryRouterInfo:
+		return "RouterInfo"
+	case EntryLeaseSet:
+		return "LeaseSet"
+	default:
+		return fmt.Sprintf("EntryType(%d)", uint8(t))
+	}
+}
+
+// DatabaseStoreMessage (DSM) publishes a RouterInfo or LeaseSet to a
+// floodfill router. "To publish his LeaseSets, Bob sends a
+// DatabaseStoreMessage (DSM) to several floodfill routers" (Section 2.1.2).
+// A non-zero ReplyToken requests a delivery confirmation, and the flooding
+// mechanism forwards fresh entries to the three closest floodfills.
+type DatabaseStoreMessage struct {
+	// Key is the identity hash of the stored record (not the routing key;
+	// receivers derive the routing key for the current UTC day).
+	Key Hash
+	// Type selects the payload interpretation.
+	Type EntryType
+	// Payload is the encoded RouterInfo or LeaseSet.
+	Payload []byte
+	// ReplyToken, when non-zero, asks the receiving floodfill to confirm.
+	ReplyToken uint32
+	// FromFlood marks entries forwarded by the flooding mechanism, which
+	// must not be re-flooded (preventing amplification loops).
+	FromFlood bool
+}
+
+// DatabaseLookupMessage (DLM) queries a floodfill for a record. "To query
+// Bob's LeaseSet information, Alice sends a DatabaseLookupMessage (DLM) to
+// those floodfill routers" (Section 2.1.2). Peers short on RouterInfos use
+// the same message for exploratory lookups (Section 4.2).
+type DatabaseLookupMessage struct {
+	// Key is the identity hash being looked up.
+	Key Hash
+	// From is the requester, so replies can be routed back.
+	From Hash
+	// Type selects what kind of record the requester wants.
+	Type EntryType
+	// Exploratory marks a lookup whose goal is discovering more routers
+	// rather than one specific record; floodfills answer with a
+	// DatabaseSearchReply listing close peers.
+	Exploratory bool
+	// Exclude lists hashes the requester already knows, so the floodfill
+	// can return fresh peers.
+	Exclude []Hash
+}
+
+// DatabaseSearchReply answers a lookup that could not be satisfied
+// directly, listing routers close to the requested key.
+type DatabaseSearchReply struct {
+	Key   Hash
+	From  Hash
+	Peers []Hash
+}
+
+// Message-type bytes on the wire.
+const (
+	msgTypeDSM = 1
+	msgTypeDLM = 2
+	msgTypeDSR = 3
+)
+
+var msgMagic = [4]byte{'I', '2', 'M', '1'}
+
+// EncodeMessage serializes any of the three netDb messages into a framed
+// byte slice. The concrete type is dispatched on a type byte.
+func EncodeMessage(msg any) ([]byte, error) {
+	var w wireWriter
+	w.buf.Write(msgMagic[:])
+	switch m := msg.(type) {
+	case *DatabaseStoreMessage:
+		w.u8(msgTypeDSM)
+		w.hash(m.Key)
+		w.u8(uint8(m.Type))
+		w.u32(m.ReplyToken)
+		flood := uint8(0)
+		if m.FromFlood {
+			flood = 1
+		}
+		w.u8(flood)
+		w.u32(uint32(len(m.Payload)))
+		w.buf.Write(m.Payload)
+	case *DatabaseLookupMessage:
+		w.u8(msgTypeDLM)
+		w.hash(m.Key)
+		w.hash(m.From)
+		w.u8(uint8(m.Type))
+		expl := uint8(0)
+		if m.Exploratory {
+			expl = 1
+		}
+		w.u8(expl)
+		if len(m.Exclude) > 65535 {
+			return nil, ErrFieldTooLong
+		}
+		w.u16(uint16(len(m.Exclude)))
+		for _, h := range m.Exclude {
+			w.hash(h)
+		}
+	case *DatabaseSearchReply:
+		w.u8(msgTypeDSR)
+		w.hash(m.Key)
+		w.hash(m.From)
+		if len(m.Peers) > 65535 {
+			return nil, ErrFieldTooLong
+		}
+		w.u16(uint16(len(m.Peers)))
+		for _, h := range m.Peers {
+			w.hash(h)
+		}
+	default:
+		return nil, fmt.Errorf("netdb: cannot encode message type %T", msg)
+	}
+	return w.buf.Bytes(), nil
+}
+
+// DecodeMessage parses a message produced by EncodeMessage and returns one
+// of *DatabaseStoreMessage, *DatabaseLookupMessage or *DatabaseSearchReply.
+func DecodeMessage(data []byte) (any, error) {
+	r := &wireReader{b: data}
+	if m := r.take(4); m == nil || !bytes.Equal(m, msgMagic[:]) {
+		return nil, ErrBadMagic
+	}
+	switch t := r.u8(); t {
+	case msgTypeDSM:
+		m := &DatabaseStoreMessage{}
+		m.Key = r.hash()
+		m.Type = EntryType(r.u8())
+		m.ReplyToken = r.u32()
+		m.FromFlood = r.u8() == 1
+		n := int(r.u32())
+		if n > len(data) {
+			return nil, ErrTruncated
+		}
+		p := r.take(n)
+		if r.err != nil {
+			return nil, r.err
+		}
+		m.Payload = append([]byte(nil), p...)
+		return m, finish(r)
+	case msgTypeDLM:
+		m := &DatabaseLookupMessage{}
+		m.Key = r.hash()
+		m.From = r.hash()
+		m.Type = EntryType(r.u8())
+		m.Exploratory = r.u8() == 1
+		n := int(r.u16())
+		for i := 0; i < n && r.err == nil; i++ {
+			m.Exclude = append(m.Exclude, r.hash())
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		return m, finish(r)
+	case msgTypeDSR:
+		m := &DatabaseSearchReply{}
+		m.Key = r.hash()
+		m.From = r.hash()
+		n := int(r.u16())
+		for i := 0; i < n && r.err == nil; i++ {
+			m.Peers = append(m.Peers, r.hash())
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		return m, finish(r)
+	default:
+		return nil, fmt.Errorf("netdb: unknown message type %d", t)
+	}
+}
+
+func finish(r *wireReader) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("netdb: %d trailing bytes after message", len(r.b)-r.off)
+	}
+	return nil
+}

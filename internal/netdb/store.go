@@ -1,0 +1,285 @@
+package netdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FloodfillRouterInfoExpiry is how long a floodfill keeps a RouterInfo:
+// "floodfill routers apply a one-hour expiration time for all RouterInfos
+// stored locally" (Section 4.3). The measurement harness polls hourly
+// because of this.
+const FloodfillRouterInfoExpiry = time.Hour
+
+// DefaultRouterInfoExpiry is the retention for non-floodfill routers, which
+// keep RouterInfos on disk across restarts and prune lazily.
+const DefaultRouterInfoExpiry = 24 * time.Hour
+
+// StoreResult describes the outcome of storing a record.
+type StoreResult int
+
+// Store outcomes.
+const (
+	// StoreNew means the store had no record for the key.
+	StoreNew StoreResult = iota
+	// StoreFresher means the record replaced an older one. Fresher
+	// RouterInfos trigger the flooding mechanism on floodfill routers.
+	StoreFresher
+	// StoreStale means the store already holds a record at least as new;
+	// nothing changed.
+	StoreStale
+)
+
+// Store is a router's local netDb: RouterInfos and LeaseSets with
+// expiration. It is safe for concurrent use.
+type Store struct {
+	mu        sync.RWMutex
+	riExpiry  time.Duration
+	routers   map[Hash]*RouterInfo
+	leases    map[Hash]*LeaseSet
+	riStored  map[Hash]time.Time // local store time, drives expiry
+	floodfill bool
+}
+
+// NewStore returns an empty store. When floodfill is true the RouterInfo
+// expiry is one hour, otherwise a day.
+func NewStore(floodfill bool) *Store {
+	exp := DefaultRouterInfoExpiry
+	if floodfill {
+		exp = FloodfillRouterInfoExpiry
+	}
+	return &Store{
+		riExpiry:  exp,
+		routers:   make(map[Hash]*RouterInfo),
+		leases:    make(map[Hash]*LeaseSet),
+		riStored:  make(map[Hash]time.Time),
+		floodfill: floodfill,
+	}
+}
+
+// Floodfill reports whether the store uses floodfill expiration rules.
+func (s *Store) Floodfill() bool { return s.floodfill }
+
+// PutRouterInfo stores ri (observed at time now) and reports the outcome.
+// Records are kept by pointer; callers that mutate their copies must Clone.
+func (s *Store) PutRouterInfo(ri *RouterInfo, now time.Time) StoreResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.routers[ri.Identity]
+	switch {
+	case !ok:
+		s.routers[ri.Identity] = ri
+		s.riStored[ri.Identity] = now
+		return StoreNew
+	case ri.Published.After(old.Published):
+		s.routers[ri.Identity] = ri
+		s.riStored[ri.Identity] = now
+		return StoreFresher
+	default:
+		// Refresh the local store time so an actively re-announced record
+		// does not expire, but keep the existing payload.
+		s.riStored[ri.Identity] = now
+		return StoreStale
+	}
+}
+
+// PutLeaseSet stores ls and reports the outcome.
+func (s *Store) PutLeaseSet(ls *LeaseSet, now time.Time) StoreResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.leases[ls.Destination]
+	switch {
+	case !ok:
+		s.leases[ls.Destination] = ls
+		return StoreNew
+	case ls.Published.After(old.Published):
+		s.leases[ls.Destination] = ls
+		return StoreFresher
+	default:
+		return StoreStale
+	}
+}
+
+// RouterInfo returns the stored record for h, or nil.
+func (s *Store) RouterInfo(h Hash) *RouterInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.routers[h]
+}
+
+// LeaseSet returns the stored record for destination h, or nil.
+func (s *Store) LeaseSet(h Hash) *LeaseSet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.leases[h]
+}
+
+// HasRouter reports whether a RouterInfo for h is stored.
+func (s *Store) HasRouter(h Hash) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.routers[h]
+	return ok
+}
+
+// RouterCount returns the number of stored RouterInfos.
+func (s *Store) RouterCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.routers)
+}
+
+// LeaseSetCount returns the number of stored LeaseSets.
+func (s *Store) LeaseSetCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.leases)
+}
+
+// RouterHashes returns the identity hashes of all stored RouterInfos in
+// unspecified order.
+func (s *Store) RouterHashes() []Hash {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Hash, 0, len(s.routers))
+	for h := range s.routers {
+		out = append(out, h)
+	}
+	return out
+}
+
+// RouterInfos returns all stored RouterInfos in unspecified order. The
+// returned slice is fresh but the records are shared; treat them as
+// read-only.
+func (s *Store) RouterInfos() []*RouterInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*RouterInfo, 0, len(s.routers))
+	for _, ri := range s.routers {
+		out = append(out, ri)
+	}
+	return out
+}
+
+// ClosestRouters returns up to n stored router hashes whose daily routing
+// keys are closest to target's routing key at time t.
+func (s *Store) ClosestRouters(target Hash, n int, t time.Time) []Hash {
+	return ClosestTo(target, s.RouterHashes(), n, t)
+}
+
+// ClosestFloodfills is like ClosestRouters restricted to floodfill-flagged
+// records, which is the candidate set for DSM targets and flooding.
+func (s *Store) ClosestFloodfills(target Hash, n int, t time.Time) []Hash {
+	s.mu.RLock()
+	cands := make([]Hash, 0, len(s.routers)/8)
+	for h, ri := range s.routers {
+		if ri.Caps.Floodfill {
+			cands = append(cands, h)
+		}
+	}
+	s.mu.RUnlock()
+	return ClosestTo(target, cands, n, t)
+}
+
+// Expire removes RouterInfos whose local store time is older than the
+// store's expiry and LeaseSets with no live lease. It returns how many
+// RouterInfos were removed.
+func (s *Store) Expire(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for h, stored := range s.riStored {
+		if now.Sub(stored) > s.riExpiry {
+			delete(s.routers, h)
+			delete(s.riStored, h)
+			removed++
+		}
+	}
+	for d, ls := range s.leases {
+		if ls.Expired(now) {
+			delete(s.leases, d)
+		}
+	}
+	return removed
+}
+
+// Clear removes everything — the harness's daily netDb-directory cleanup
+// ("Every 24 hours we clean up the netDb directory", Section 4.3).
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.routers = make(map[Hash]*RouterInfo)
+	s.leases = make(map[Hash]*LeaseSet)
+	s.riStored = make(map[Hash]time.Time)
+}
+
+// routerInfoFilePrefix and suffix mirror the Java router's on-disk layout
+// (netDb/routerInfo-<base64>.dat), which the paper's harness watched.
+const (
+	routerInfoFilePrefix = "routerInfo-"
+	routerInfoFileSuffix = ".dat"
+)
+
+// RouterInfoFileName returns the on-disk file name for an identity hash.
+func RouterInfoFileName(h Hash) string {
+	return routerInfoFilePrefix + h.String() + routerInfoFileSuffix
+}
+
+// SaveDir writes every stored RouterInfo into dir, one file per record,
+// creating dir if needed. "RouterInfos are written to disk by design so
+// that they are available after a restart" (Section 4.3).
+func (s *Store) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("netdb: save dir: %w", err)
+	}
+	for _, ri := range s.RouterInfos() {
+		data, err := ri.Encode()
+		if err != nil {
+			return fmt.Errorf("netdb: encode %s: %w", ri.Identity.Short(), err)
+		}
+		name := filepath.Join(dir, RouterInfoFileName(ri.Identity))
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			return fmt.Errorf("netdb: save dir: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadDir reads every routerInfo-*.dat file in dir into the store, using
+// now as the local store time. It returns how many records were loaded.
+// Unreadable or corrupt files are skipped (matching the Java router, which
+// quarantines bad records rather than failing startup) and reported in the
+// returned error only if nothing could be loaded.
+func (s *Store) LoadDir(dir string, now time.Time) (int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("netdb: load dir: %w", err)
+	}
+	loaded, failed := 0, 0
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, routerInfoFilePrefix) || !strings.HasSuffix(name, routerInfoFileSuffix) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			failed++
+			continue
+		}
+		ri, err := DecodeRouterInfo(data)
+		if err != nil {
+			failed++
+			continue
+		}
+		s.PutRouterInfo(ri, now)
+		loaded++
+	}
+	if loaded == 0 && failed > 0 {
+		return 0, fmt.Errorf("netdb: load dir: all %d records corrupt", failed)
+	}
+	return loaded, nil
+}

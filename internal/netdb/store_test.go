@@ -1,0 +1,225 @@
+package netdb
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func riAt(id uint64, published time.Time, floodfill bool) *RouterInfo {
+	return &RouterInfo{
+		Identity:  HashFromUint64(id),
+		Published: published,
+		Caps:      NewCaps(200, floodfill, true),
+		Version:   "0.9.34",
+		Addresses: []RouterAddress{{
+			Transport: TransportNTCP,
+			Addr:      netip.AddrFrom4([4]byte{10, byte(id >> 8), byte(id), 1}),
+			Port:      12345,
+		}},
+	}
+}
+
+func TestStorePutSemantics(t *testing.T) {
+	now := time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+	s := NewStore(false)
+
+	ri := riAt(1, now, false)
+	if got := s.PutRouterInfo(ri, now); got != StoreNew {
+		t.Fatalf("first put = %v, want StoreNew", got)
+	}
+	older := riAt(1, now.Add(-time.Hour), false)
+	if got := s.PutRouterInfo(older, now); got != StoreStale {
+		t.Fatalf("older put = %v, want StoreStale", got)
+	}
+	if s.RouterInfo(ri.Identity).Published != now {
+		t.Fatal("stale put replaced fresher record")
+	}
+	newer := riAt(1, now.Add(time.Hour), false)
+	if got := s.PutRouterInfo(newer, now); got != StoreFresher {
+		t.Fatalf("newer put = %v, want StoreFresher", got)
+	}
+	if s.RouterCount() != 1 {
+		t.Fatalf("RouterCount = %d, want 1", s.RouterCount())
+	}
+}
+
+func TestStoreFloodfillExpiry(t *testing.T) {
+	start := time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+	ff := NewStore(true)
+	if !ff.Floodfill() {
+		t.Fatal("Floodfill() should be true")
+	}
+	ff.PutRouterInfo(riAt(1, start, false), start)
+	ff.PutRouterInfo(riAt(2, start, false), start.Add(50*time.Minute))
+
+	// 61 minutes in: the first record is past the one-hour floodfill
+	// expiry, the second is not.
+	removed := ff.Expire(start.Add(61 * time.Minute))
+	if removed != 1 {
+		t.Fatalf("Expire removed %d, want 1", removed)
+	}
+	if ff.HasRouter(HashFromUint64(1)) {
+		t.Fatal("expired record still present")
+	}
+	if !ff.HasRouter(HashFromUint64(2)) {
+		t.Fatal("live record expired")
+	}
+}
+
+func TestStoreStaleRefreshKeepsRecordAlive(t *testing.T) {
+	start := time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+	ff := NewStore(true)
+	ff.PutRouterInfo(riAt(1, start, false), start)
+	// The same record is re-announced at +50 min; even though the payload
+	// is stale, the store time refreshes, so at +70 min it must survive.
+	ff.PutRouterInfo(riAt(1, start, false), start.Add(50*time.Minute))
+	if n := ff.Expire(start.Add(70 * time.Minute)); n != 0 {
+		t.Fatalf("Expire removed %d, want 0", n)
+	}
+}
+
+func TestStoreNonFloodfillExpiry(t *testing.T) {
+	start := time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+	s := NewStore(false)
+	s.PutRouterInfo(riAt(1, start, false), start)
+	if n := s.Expire(start.Add(23 * time.Hour)); n != 0 {
+		t.Fatalf("non-floodfill store expired after 23h: %d", n)
+	}
+	if n := s.Expire(start.Add(25 * time.Hour)); n != 1 {
+		t.Fatalf("non-floodfill store did not expire after 25h: %d", n)
+	}
+}
+
+func TestStoreLeaseSets(t *testing.T) {
+	now := time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+	s := NewStore(true)
+	ls := &LeaseSet{
+		Destination: HashFromUint64(9),
+		Published:   now,
+		Leases:      []Lease{{Gateway: HashFromUint64(1), TunnelID: 1, Expires: now.Add(10 * time.Minute)}},
+	}
+	if got := s.PutLeaseSet(ls, now); got != StoreNew {
+		t.Fatalf("put = %v", got)
+	}
+	if got := s.PutLeaseSet(ls.Clone(), now); got != StoreStale {
+		t.Fatalf("duplicate put = %v", got)
+	}
+	fresh := ls.Clone()
+	fresh.Published = now.Add(time.Minute)
+	if got := s.PutLeaseSet(fresh, now); got != StoreFresher {
+		t.Fatalf("fresher put = %v", got)
+	}
+	if s.LeaseSet(ls.Destination) == nil || s.LeaseSetCount() != 1 {
+		t.Fatal("lease set lookup failed")
+	}
+	s.Expire(now.Add(time.Hour))
+	if s.LeaseSetCount() != 0 {
+		t.Fatal("expired lease set kept")
+	}
+}
+
+func TestStoreClear(t *testing.T) {
+	now := time.Now().UTC()
+	s := NewStore(false)
+	for i := uint64(0); i < 10; i++ {
+		s.PutRouterInfo(riAt(i, now, false), now)
+	}
+	s.Clear()
+	if s.RouterCount() != 0 {
+		t.Fatal("Clear left records behind")
+	}
+}
+
+func TestStoreClosestFloodfills(t *testing.T) {
+	now := time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+	s := NewStore(false)
+	ffCount := 0
+	for i := uint64(1); i <= 100; i++ {
+		isFF := i%5 == 0
+		if isFF {
+			ffCount++
+		}
+		s.PutRouterInfo(riAt(i, now, isFF), now)
+	}
+	got := s.ClosestFloodfills(HashFromUint64(7777), 8, now)
+	if len(got) != 8 {
+		t.Fatalf("got %d floodfills, want 8", len(got))
+	}
+	for _, h := range got {
+		ri := s.RouterInfo(h)
+		if ri == nil || !ri.Caps.Floodfill {
+			t.Fatalf("non-floodfill %s in floodfill selection", h.Short())
+		}
+	}
+	all := s.ClosestRouters(HashFromUint64(7777), s.RouterCount(), now)
+	if len(all) != 100 {
+		t.Fatalf("ClosestRouters returned %d, want 100", len(all))
+	}
+}
+
+func TestStoreSaveLoadDir(t *testing.T) {
+	now := time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+	dir := filepath.Join(t.TempDir(), "netDb")
+	s := NewStore(false)
+	for i := uint64(1); i <= 25; i++ {
+		s.PutRouterInfo(riAt(i, now, i%2 == 0), now)
+	}
+	if err := s.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewStore(false)
+	n, err := loaded.LoadDir(dir, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 || loaded.RouterCount() != 25 {
+		t.Fatalf("loaded %d records, count %d, want 25", n, loaded.RouterCount())
+	}
+	for i := uint64(1); i <= 25; i++ {
+		h := HashFromUint64(i)
+		got := loaded.RouterInfo(h)
+		if got == nil {
+			t.Fatalf("record %d missing after reload", i)
+		}
+		if got.Caps != s.RouterInfo(h).Caps {
+			t.Fatalf("record %d caps mismatch after reload", i)
+		}
+	}
+}
+
+func TestStoreLoadDirSkipsCorrupt(t *testing.T) {
+	now := time.Now().UTC()
+	dir := t.TempDir()
+	s := NewStore(false)
+	s.PutRouterInfo(riAt(1, now, false), now)
+	if err := s.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Drop a corrupt file alongside.
+	bad := filepath.Join(dir, RouterInfoFileName(HashFromUint64(2)))
+	if err := writeFile(bad, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewStore(false)
+	n, err := loaded.LoadDir(dir, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d, want 1 (corrupt file skipped)", n)
+	}
+}
+
+func TestStoreLoadDirMissing(t *testing.T) {
+	s := NewStore(false)
+	if _, err := s.LoadDir(filepath.Join(t.TempDir(), "nope"), time.Now()); err == nil {
+		t.Fatal("missing directory should error")
+	}
+}
+
+func writeFile(name string, data []byte) error {
+	return os.WriteFile(name, data, 0o644)
+}

@@ -1,0 +1,204 @@
+// Package router implements individual-router behaviour that sits above
+// the netdb records: identity generation, the automatic floodfill opt-in
+// health tests the paper describes (Section 2.1.2: "a high-bandwidth
+// router could become a floodfill router automatically after passing
+// several 'health' tests, such as stability and uptime in the network,
+// outbound message queue throughput, delay, and so on"), and the
+// introducer tags firewalled peers publish (Section 5.1).
+package router
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	mrand "math/rand/v2"
+	"net/netip"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+)
+
+// Identity is a router's long-term identity: key material plus the hash
+// that names it in the netDb. "This identifier is generated the first time
+// the I2P router software is installed, and never changes throughout its
+// lifetime" (Section 5.1).
+type Identity struct {
+	// PublicKey is the router's static X25519 public key.
+	PublicKey []byte
+	// Hash is SHA-256 over the public key — the netDb identity.
+	Hash netdb.Hash
+}
+
+// NewIdentity generates a fresh identity from crypto/rand.
+func NewIdentity() (*Identity, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("router: generate identity: %w", err)
+	}
+	pub := priv.PublicKey().Bytes()
+	return &Identity{PublicKey: pub, Hash: netdb.HashOf(pub)}, nil
+}
+
+// PortRange is I2P's configurable port range: "I2P can run on any
+// arbitrary port in the range of 9000–31000" (Section 2.2.2).
+const (
+	PortMin = 9000
+	PortMax = 31000
+)
+
+// RandomPort draws a port from the I2P range.
+func RandomPort(rng *mrand.Rand) uint16 {
+	return uint16(PortMin + rng.IntN(PortMax-PortMin+1))
+}
+
+// HealthConfig holds the automatic floodfill opt-in thresholds.
+type HealthConfig struct {
+	// MinSharedKBps is the bandwidth floor (the netdb package's
+	// FloodfillMinRateKBps, 128 KB/s).
+	MinSharedKBps int
+	// MinUptime is the required continuous uptime.
+	MinUptime time.Duration
+	// MaxQueueDelay is the largest acceptable outbound message queue
+	// delay.
+	MaxQueueDelay time.Duration
+	// MinJobLag headroom: the router must not be CPU-starved.
+	MaxJobLag time.Duration
+}
+
+// DefaultHealthConfig mirrors the Java router's floodfill eligibility
+// thresholds.
+func DefaultHealthConfig() HealthConfig {
+	return HealthConfig{
+		MinSharedKBps: netdb.FloodfillMinRateKBps,
+		MinUptime:     2 * time.Hour,
+		MaxQueueDelay: 2 * time.Second,
+		MaxJobLag:     500 * time.Millisecond,
+	}
+}
+
+// Vitals is a snapshot of the router's self-measured health.
+type Vitals struct {
+	SharedKBps int
+	Uptime     time.Duration
+	QueueDelay time.Duration
+	JobLag     time.Duration
+	// FirewallStatus: a firewalled router can never serve netDb queries.
+	Firewalled bool
+}
+
+// FloodfillDecision explains an opt-in evaluation.
+type FloodfillDecision struct {
+	Eligible bool
+	// Reasons lists every failed test (empty when eligible).
+	Reasons []string
+}
+
+// EvaluateFloodfill runs the health tests. A router failing any test does
+// not opt in automatically — although, as Section 5.3.1 found, operators
+// can still force floodfill mode manually, producing the unqualified
+// K/L/M-class floodfills the paper subtracts in its population estimate.
+func EvaluateFloodfill(cfg HealthConfig, v Vitals) FloodfillDecision {
+	var reasons []string
+	if v.Firewalled {
+		reasons = append(reasons, "router is firewalled")
+	}
+	if v.SharedKBps < cfg.MinSharedKBps {
+		reasons = append(reasons, fmt.Sprintf("shared bandwidth %d KB/s below %d KB/s floor", v.SharedKBps, cfg.MinSharedKBps))
+	}
+	if cls := netdb.ClassForRate(v.SharedKBps); !cls.AtLeast(netdb.FloodfillMinClass) {
+		reasons = append(reasons, fmt.Sprintf("bandwidth class %v below %v", cls, netdb.FloodfillMinClass))
+	}
+	if v.Uptime < cfg.MinUptime {
+		reasons = append(reasons, fmt.Sprintf("uptime %v below %v", v.Uptime, cfg.MinUptime))
+	}
+	if v.QueueDelay > cfg.MaxQueueDelay {
+		reasons = append(reasons, fmt.Sprintf("queue delay %v above %v", v.QueueDelay, cfg.MaxQueueDelay))
+	}
+	if v.JobLag > cfg.MaxJobLag {
+		reasons = append(reasons, fmt.Sprintf("job lag %v above %v", v.JobLag, cfg.MaxJobLag))
+	}
+	return FloodfillDecision{Eligible: len(reasons) == 0, Reasons: reasons}
+}
+
+// --- introducers ---
+
+// ErrNoIntroducers is returned when a firewalled router has no usable
+// introducers to publish.
+var ErrNoIntroducers = errors.New("router: no usable introducers")
+
+// IntroducerSet manages the introduction tags a firewalled router
+// publishes (Section 5.1: "an I2P peer who resides behind a firewall ...
+// can choose some peers in the network to become his introducers").
+type IntroducerSet struct {
+	max  int
+	tags map[netdb.Hash]netdb.Introducer
+	next uint32
+}
+
+// NewIntroducerSet returns a set holding at most max introducers (the Java
+// router uses up to 3).
+func NewIntroducerSet(max int) *IntroducerSet {
+	if max <= 0 {
+		max = 3
+	}
+	return &IntroducerSet{max: max, tags: make(map[netdb.Hash]netdb.Introducer)}
+}
+
+// Add registers a reachable peer as an introducer, allocating a tag. It
+// reports false when the set is full or the peer has no usable address.
+func (s *IntroducerSet) Add(peer netdb.Hash, addr netip.Addr, port uint16) bool {
+	if len(s.tags) >= s.max {
+		return false
+	}
+	if !addr.IsValid() || port == 0 {
+		return false
+	}
+	if _, dup := s.tags[peer]; dup {
+		return false
+	}
+	s.next++
+	s.tags[peer] = netdb.Introducer{Hash: peer, Tag: s.next, Addr: addr, Port: port}
+	return true
+}
+
+// Remove drops an introducer (for example because it left the network).
+func (s *IntroducerSet) Remove(peer netdb.Hash) bool {
+	if _, ok := s.tags[peer]; !ok {
+		return false
+	}
+	delete(s.tags, peer)
+	return true
+}
+
+// Len returns the number of active introducers.
+func (s *IntroducerSet) Len() int { return len(s.tags) }
+
+// Publish returns the introducers for embedding into a RouterAddress. It
+// errors when the set is empty — a firewalled router without introducers
+// is unreachable and appears "hidden" to observers, which is exactly the
+// toggling behaviour behind Figure 6's overlap group.
+func (s *IntroducerSet) Publish() ([]netdb.Introducer, error) {
+	if len(s.tags) == 0 {
+		return nil, ErrNoIntroducers
+	}
+	out := make([]netdb.Introducer, 0, len(s.tags))
+	for _, in := range s.tags {
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// BuildFirewalledAddress assembles the SSU RouterAddress a firewalled peer
+// publishes: no IP of its own, introducers attached.
+func BuildFirewalledAddress(s *IntroducerSet) (netdb.RouterAddress, error) {
+	intros, err := s.Publish()
+	if err != nil {
+		return netdb.RouterAddress{}, err
+	}
+	return netdb.RouterAddress{
+		Transport:   netdb.TransportSSU,
+		Cost:        10,
+		Introducers: intros,
+	}, nil
+}

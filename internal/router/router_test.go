@@ -1,0 +1,185 @@
+package router
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+)
+
+func TestNewIdentity(t *testing.T) {
+	a, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash == b.Hash {
+		t.Fatal("two identities collided")
+	}
+	if a.Hash != netdb.HashOf(a.PublicKey) {
+		t.Fatal("hash does not match public key")
+	}
+	if len(a.PublicKey) != 32 {
+		t.Fatalf("public key length %d", len(a.PublicKey))
+	}
+}
+
+func TestRandomPortRange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 10000; i++ {
+		p := RandomPort(rng)
+		if p < PortMin || p > PortMax {
+			t.Fatalf("port %d outside I2P range %d-%d", p, PortMin, PortMax)
+		}
+	}
+}
+
+func healthyVitals() Vitals {
+	return Vitals{
+		SharedKBps: 512,
+		Uptime:     6 * time.Hour,
+		QueueDelay: 100 * time.Millisecond,
+		JobLag:     10 * time.Millisecond,
+	}
+}
+
+func TestEvaluateFloodfillEligible(t *testing.T) {
+	d := EvaluateFloodfill(DefaultHealthConfig(), healthyVitals())
+	if !d.Eligible {
+		t.Fatalf("healthy router rejected: %v", d.Reasons)
+	}
+	if len(d.Reasons) != 0 {
+		t.Fatal("eligible decision carries reasons")
+	}
+}
+
+func TestEvaluateFloodfillFailures(t *testing.T) {
+	cfg := DefaultHealthConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Vitals)
+	}{
+		{"low bandwidth", func(v *Vitals) { v.SharedKBps = 64 }},
+		{"bandwidth exactly below floor", func(v *Vitals) { v.SharedKBps = cfg.MinSharedKBps - 1 }},
+		{"short uptime", func(v *Vitals) { v.Uptime = 30 * time.Minute }},
+		{"queue backlog", func(v *Vitals) { v.QueueDelay = 10 * time.Second }},
+		{"cpu starved", func(v *Vitals) { v.JobLag = 2 * time.Second }},
+		{"firewalled", func(v *Vitals) { v.Firewalled = true }},
+	}
+	for _, c := range cases {
+		v := healthyVitals()
+		c.mutate(&v)
+		d := EvaluateFloodfill(cfg, v)
+		if d.Eligible {
+			t.Errorf("%s: should be ineligible", c.name)
+		}
+		if len(d.Reasons) == 0 {
+			t.Errorf("%s: no reasons", c.name)
+		}
+	}
+}
+
+// TestFloodfillFloorMatchesPaper: the minimum rate (128 KB/s) maps to at
+// least class N, the paper's automatic opt-in floor.
+func TestFloodfillFloorMatchesPaper(t *testing.T) {
+	v := healthyVitals()
+	v.SharedKBps = netdb.FloodfillMinRateKBps
+	if d := EvaluateFloodfill(DefaultHealthConfig(), v); !d.Eligible {
+		t.Fatalf("128 KB/s router rejected: %v", d.Reasons)
+	}
+}
+
+func TestIntroducerSet(t *testing.T) {
+	s := NewIntroducerSet(0) // defaults to 3
+	if _, err := s.Publish(); err != ErrNoIntroducers {
+		t.Fatal("empty set should refuse to publish")
+	}
+	addr := netip.MustParseAddr("198.51.100.10")
+	if !s.Add(netdb.HashFromUint64(1), addr, 9001) {
+		t.Fatal("first add failed")
+	}
+	if s.Add(netdb.HashFromUint64(1), addr, 9001) {
+		t.Fatal("duplicate introducer accepted")
+	}
+	if s.Add(netdb.HashFromUint64(2), netip.Addr{}, 9001) {
+		t.Fatal("invalid address accepted")
+	}
+	if s.Add(netdb.HashFromUint64(2), addr, 0) {
+		t.Fatal("zero port accepted")
+	}
+	s.Add(netdb.HashFromUint64(2), addr, 9002)
+	s.Add(netdb.HashFromUint64(3), addr, 9003)
+	if s.Add(netdb.HashFromUint64(4), addr, 9004) {
+		t.Fatal("add beyond capacity accepted")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	intros, err := s.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(intros) != 3 {
+		t.Fatalf("published %d", len(intros))
+	}
+	tags := map[uint32]bool{}
+	for _, in := range intros {
+		if tags[in.Tag] {
+			t.Fatal("duplicate tag")
+		}
+		tags[in.Tag] = true
+	}
+	if !s.Remove(netdb.HashFromUint64(2)) || s.Remove(netdb.HashFromUint64(2)) {
+		t.Fatal("remove semantics wrong")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len after remove = %d", s.Len())
+	}
+}
+
+// TestBuildFirewalledAddress ties the introducer machinery to the netdb
+// classification: the built address must classify as firewalled, not
+// hidden.
+func TestBuildFirewalledAddress(t *testing.T) {
+	s := NewIntroducerSet(3)
+	if _, err := BuildFirewalledAddress(s); err == nil {
+		t.Fatal("address without introducers accepted")
+	}
+	s.Add(netdb.HashFromUint64(9), netip.MustParseAddr("203.0.113.4"), 9010)
+	addr, err := BuildFirewalledAddress(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr.HasIP() {
+		t.Fatal("firewalled address must not publish an IP")
+	}
+	ri := &netdb.RouterInfo{
+		Identity:  netdb.HashFromUint64(100),
+		Published: time.Now().UTC(),
+		Caps:      netdb.NewCaps(48, false, false),
+		Addresses: []netdb.RouterAddress{addr},
+	}
+	if !ri.Firewalled() {
+		t.Fatal("RouterInfo with introducers should classify as firewalled")
+	}
+	if ri.HiddenPeer() {
+		t.Fatal("firewalled peer misclassified as hidden")
+	}
+	// Round-trip through the codec.
+	data, err := ri.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := netdb.DecodeRouterInfo(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Firewalled() {
+		t.Fatal("classification lost in codec round trip")
+	}
+}

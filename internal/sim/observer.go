@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+)
+
+// ObservationParams are the constants of the observation model. An
+// observer o sees peer p on a given day with probability
+//
+//	P(o sees p) = gamma_o(p) * exposure_p
+//
+// where exposure_p is the peer's intrinsic per-day visibility (a property
+// of how actively it publishes and participates) and gamma_o(p) composes
+// the four §4.2 learning channels:
+//
+//  1. reseed bootstrap (first day only, handled by the harness),
+//  2. exploratory DatabaseLookup traffic — available to every observer
+//     regardless of bandwidth (DLMCoverage),
+//  3. tunnel participation — grows with the observer's shared bandwidth
+//     and saturates (TunnelCoverageMax, TunnelSatKBps), discounted for
+//     floodfills whose bandwidth is partly consumed by netDb duties
+//     (FFTunnelPenalty), and weighted by how the peer touches tunnels
+//     (relay hop, tunnel creator, firewalled creator, hidden creator),
+//  4. DatabaseStore/flooding traffic — floodfill observers only
+//     (StoreCoverage).
+//
+// Channels compose as independent detection opportunities:
+// gamma = 1 - (1-dlm)(1-store)(1-tunnel*affinity).
+type ObservationParams struct {
+	DLMCoverage       float64
+	StoreCoverage     float64
+	TunnelCoverageMax float64
+	TunnelSatKBps     float64
+	FFTunnelPenalty   float64
+
+	RelayAffinity      float64 // tunnel-eligible peers (reachable, >= M)
+	CreatorAffinity    float64 // known-IP peers below relay grade
+	FirewalledAffinity float64 // firewalled and toggling peers
+	HiddenAffinity     float64 // hidden peers
+}
+
+// DefaultObservation returns constants calibrated against Figures 2–4 (see
+// the derivation in EXPERIMENTS.md).
+func DefaultObservation() ObservationParams {
+	return ObservationParams{
+		DLMCoverage:       0.66,
+		StoreCoverage:     0.35,
+		TunnelCoverageMax: 1.0,
+		TunnelSatKBps:     1200,
+		FFTunnelPenalty:   0.50,
+
+		RelayAffinity:      1.0,
+		CreatorAffinity:    0.80,
+		FirewalledAffinity: 0.60,
+		HiddenAffinity:     0.25,
+	}
+}
+
+// ObserverConfig describes one measurement router, mirroring the knobs the
+// paper tuned in Section 4: operating mode and shared bandwidth.
+type ObserverConfig struct {
+	// Name labels the observer in reports.
+	Name string
+	// Floodfill selects floodfill mode.
+	Floodfill bool
+	// SharedKBps is the configured shared bandwidth in KB/s (the paper
+	// swept 128 KB/s to 8 MB/s; the bloom filter caps at 8 MB/s).
+	SharedKBps int
+	// Seed decorrelates this observer's random draws from others'.
+	Seed uint64
+}
+
+// MaxSharedKBps is the 8 MB/s cap imposed by the router's built-in bloom
+// filter (Section 4.1).
+const MaxSharedKBps = 8192
+
+// Observer is an instantiated measurement router on a network.
+type Observer struct {
+	Cfg ObserverConfig
+	net *Network
+}
+
+// NewObserver attaches an observer to the network. Bandwidth is clamped to
+// MaxSharedKBps.
+func (n *Network) NewObserver(cfg ObserverConfig) *Observer {
+	if cfg.SharedKBps <= 0 {
+		cfg.SharedKBps = 128
+	}
+	if cfg.SharedKBps > MaxSharedKBps {
+		cfg.SharedKBps = MaxSharedKBps
+	}
+	return &Observer{Cfg: cfg, net: n}
+}
+
+// tunnelFactor returns the tunnel-channel intensity for the observer's
+// bandwidth and mode.
+func (o *Observer) tunnelFactor() float64 {
+	p := o.net.obs
+	f := p.TunnelCoverageMax * (1 - math.Exp(-float64(o.Cfg.SharedKBps)/p.TunnelSatKBps))
+	if o.Cfg.Floodfill {
+		f *= p.FFTunnelPenalty
+	}
+	return f
+}
+
+// affinity returns the tunnel-channel weight for a peer.
+func (o *Observer) affinity(p *Peer) float64 {
+	params := o.net.obs
+	switch {
+	case p.TunnelEligible():
+		return params.RelayAffinity
+	case p.Status == StatusKnownIP:
+		return params.CreatorAffinity
+	case p.Status == StatusFirewalled || p.Status == StatusToggling:
+		return params.FirewalledAffinity
+	default:
+		return params.HiddenAffinity
+	}
+}
+
+// CoverageFactor returns gamma_o(p): the fraction of peer p's exposure the
+// observer converts into an observation each day.
+func (o *Observer) CoverageFactor(p *Peer) float64 {
+	params := o.net.obs
+	dlm := params.DLMCoverage
+	store := 0.0
+	if o.Cfg.Floodfill {
+		store = params.StoreCoverage
+	}
+	tun := o.tunnelFactor() * o.affinity(p)
+	gamma := 1 - (1-dlm)*(1-store)*(1-tun)
+	if gamma < 0 {
+		return 0
+	}
+	if gamma > 1 {
+		return 1
+	}
+	return gamma
+}
+
+// ObserveProbability returns the probability that the observer sees peer p
+// on any day p is online.
+func (o *Observer) ObserveProbability(p *Peer) float64 {
+	return o.CoverageFactor(p) * p.Exposure
+}
+
+// dayRNG returns the deterministic RNG for (observer, day): repeated calls
+// to ObserveDay are idempotent and days can be visited in any order.
+func (o *Observer) dayRNG(day int) *rand.Rand {
+	return rand.New(rand.NewPCG(o.Cfg.Seed^0x9E3779B97F4A7C15, uint64(day)*0x2545F4914F6CDD1D+1))
+}
+
+// ObserveDay returns the indexes of peers the observer sees on the given
+// study day. The result is deterministic for a given (seed, day).
+func (o *Observer) ObserveDay(day int) []int {
+	active := o.net.ActivePeers(day)
+	if len(active) == 0 {
+		return nil
+	}
+	rng := o.dayRNG(day)
+	out := make([]int, 0, len(active)/2)
+	for _, idx := range active {
+		p := o.net.Peers[idx]
+		if rng.Float64() < o.ObserveProbability(p) {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// CollectDay materializes the RouterInfos the observer captured on the
+// given day — what the paper's harness read from the netDb directory on
+// its hourly scans before the daily cleanup (Section 4.3).
+func (o *Observer) CollectDay(day int) []*netdb.RouterInfo {
+	idxs := o.ObserveDay(day)
+	rng := o.dayRNG(day + 1<<20) // independent stream for materialization
+	out := make([]*netdb.RouterInfo, 0, len(idxs))
+	for _, idx := range idxs {
+		out = append(out, o.net.RouterInfoFor(o.net.Peers[idx], day, rng))
+	}
+	return out
+}
+
+// UnionObserveDay returns the union of observations of several observers
+// on one day, deduplicated, preserving no particular order.
+func UnionObserveDay(observers []*Observer, day int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, o := range observers {
+		for _, idx := range o.ObserveDay(day) {
+			if !seen[idx] {
+				seen[idx] = true
+				out = append(out, idx)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestCoverageFactorBounds: gamma is a probability for every peer and
+// observer configuration.
+func TestCoverageFactorBounds(t *testing.T) {
+	n := testNetwork(t, 10)
+	f := func(kbps uint16, ff bool, peerSel uint16) bool {
+		o := n.NewObserver(ObserverConfig{SharedKBps: int(kbps), Floodfill: ff, Seed: 1})
+		p := n.Peers[int(peerSel)%len(n.Peers)]
+		gamma := o.CoverageFactor(p)
+		prob := o.ObserveProbability(p)
+		return gamma >= 0 && gamma <= 1 && prob >= 0 && prob <= 1 && prob <= gamma+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoverageMonotoneInBandwidth: more shared bandwidth never reduces
+// coverage of any peer (the tunnel channel only grows).
+func TestCoverageMonotoneInBandwidth(t *testing.T) {
+	n := testNetwork(t, 10)
+	low := n.NewObserver(ObserverConfig{SharedKBps: 128, Seed: 1})
+	mid := n.NewObserver(ObserverConfig{SharedKBps: 1024, Seed: 1})
+	high := n.NewObserver(ObserverConfig{SharedKBps: 8192, Seed: 1})
+	for i := 0; i < 500; i++ {
+		p := n.Peers[i*7%len(n.Peers)]
+		gl, gm, gh := low.CoverageFactor(p), mid.CoverageFactor(p), high.CoverageFactor(p)
+		if !(gl <= gm+1e-12 && gm <= gh+1e-12) {
+			t.Fatalf("coverage not monotone in bandwidth: %v %v %v", gl, gm, gh)
+		}
+	}
+}
+
+// TestFloodfillStoreChannelHelpsEveryPeer: at equal bandwidth, the store
+// channel means a floodfill observer covers every peer at least as well
+// per-channel-math as a non-floodfill one at low bandwidth.
+func TestFloodfillStoreChannelHelpsAtLowBandwidth(t *testing.T) {
+	n := testNetwork(t, 10)
+	ff := n.NewObserver(ObserverConfig{SharedKBps: 128, Floodfill: true, Seed: 1})
+	nf := n.NewObserver(ObserverConfig{SharedKBps: 128, Floodfill: false, Seed: 1})
+	for i := 0; i < 500; i++ {
+		p := n.Peers[i*11%len(n.Peers)]
+		if ff.CoverageFactor(p) < nf.CoverageFactor(p) {
+			t.Fatalf("peer %d: low-bandwidth floodfill coverage below non-floodfill", i)
+		}
+	}
+}
+
+func TestObserverBandwidthClamping(t *testing.T) {
+	n := testNetwork(t, 10)
+	o := n.NewObserver(ObserverConfig{SharedKBps: 1 << 20})
+	if o.Cfg.SharedKBps != MaxSharedKBps {
+		t.Fatalf("bandwidth not clamped: %d", o.Cfg.SharedKBps)
+	}
+	o = n.NewObserver(ObserverConfig{SharedKBps: 0})
+	if o.Cfg.SharedKBps != 128 {
+		t.Fatalf("zero bandwidth not defaulted: %d", o.Cfg.SharedKBps)
+	}
+}
+
+// TestObservationSubsetOfActives: observers only see peers that are
+// actually online.
+func TestObservationSubsetOfActives(t *testing.T) {
+	n := testNetwork(t, 10)
+	o := n.NewObserver(ObserverConfig{SharedKBps: 8192, Floodfill: true, Seed: 5})
+	day := 5
+	active := make(map[int]bool)
+	for _, idx := range n.ActivePeers(day) {
+		active[idx] = true
+	}
+	for _, idx := range o.ObserveDay(day) {
+		if !active[idx] {
+			t.Fatal("observed an offline peer")
+		}
+	}
+	if got := o.ObserveDay(-1); got != nil {
+		t.Fatal("out-of-range day returned observations")
+	}
+}

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/churn"
+	"github.com/i2pstudy/i2pstudy/internal/geo"
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+)
+
+// Status is a peer's address-publication behaviour, which drives the
+// paper's Figure 6 classification (Section 5.1).
+type Status int
+
+// Peer statuses.
+const (
+	// StatusKnownIP peers publish a public IP in their RouterInfo.
+	StatusKnownIP Status = iota
+	// StatusFirewalled peers publish introducers instead of an IP.
+	StatusFirewalled
+	// StatusHidden peers publish neither (H capacity flag).
+	StatusHidden
+	// StatusToggling peers flip between firewalled and hidden within a
+	// day — the paper's 2.6K "overlapping" group.
+	StatusToggling
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusKnownIP:
+		return "known-ip"
+	case StatusFirewalled:
+		return "firewalled"
+	case StatusHidden:
+		return "hidden"
+	case StatusToggling:
+		return "toggling"
+	default:
+		return "invalid"
+	}
+}
+
+// ipAssignment is one segment of a peer's IP schedule.
+type ipAssignment struct {
+	fromDay int // study day the address becomes active
+	asn     uint32
+	addr    netip.Addr
+	v6      netip.Addr // zero unless the peer publishes IPv6
+}
+
+// Peer is one simulated router.
+type Peer struct {
+	Index int
+	ID    netdb.Hash
+
+	Profile   churn.Profile
+	IPProfile churn.IPProfile
+	Status    Status
+
+	Country string
+	ASPool  []uint32
+
+	Class     netdb.BandwidthClass
+	LegacyO   bool
+	RateKBps  int
+	Floodfill bool
+	// Reachable marks known-IP peers that accept inbound connections
+	// (R flag); unknown-IP peers are always unreachable.
+	Reachable bool
+
+	// StartDay is the first study day the peer can appear (>= 0; peers
+	// already in the network at study start have StartDay 0 with a
+	// residual span).
+	StartDay int
+	// Presence holds one entry per day from StartDay; true means the peer
+	// was online at some point that day.
+	Presence []bool
+
+	// WellExposed peers are broadly visible to any single observer on any
+	// day; the rest have a small per-day exposure, which produces the
+	// logarithmic union curve of Figure 4.
+	WellExposed bool
+	// Exposure is the peer's base per-day observability in [0, 1].
+	Exposure float64
+
+	// ipSchedule is non-empty only for StatusKnownIP peers.
+	ipSchedule []ipAssignment
+	// extraIPs and extraASNs record additional same-day rotations that
+	// the daily schedule collapses. Heavy rotators change addresses
+	// several times per day; hourly captures (the paper's resolution) see
+	// them all, which is how the >100-address tail of Figure 8 arises.
+	extraIPs  []netip.Addr
+	extraASNs []uint32
+}
+
+// ActiveOn reports whether the peer is online on the given study day.
+func (p *Peer) ActiveOn(day int) bool {
+	idx := day - p.StartDay
+	return idx >= 0 && idx < len(p.Presence) && p.Presence[idx]
+}
+
+// FirstActiveDay returns the first study day the peer is online, or -1.
+func (p *Peer) FirstActiveDay() int {
+	for i, on := range p.Presence {
+		if on {
+			return p.StartDay + i
+		}
+	}
+	return -1
+}
+
+// AddrOnDay returns the peer's public IPv4 (and IPv6, if published) on the
+// given study day. Both are zero for unknown-IP peers.
+func (p *Peer) AddrOnDay(day int) (v4, v6 netip.Addr) {
+	if len(p.ipSchedule) == 0 {
+		return netip.Addr{}, netip.Addr{}
+	}
+	// The schedule is sorted by fromDay; find the last segment at or
+	// before day.
+	cur := p.ipSchedule[0]
+	for _, seg := range p.ipSchedule[1:] {
+		if seg.fromDay > day {
+			break
+		}
+		cur = seg
+	}
+	return cur.addr, cur.v6
+}
+
+// ASNOnDay returns the autonomous system of the peer's address on day, or
+// zero for unknown-IP peers.
+func (p *Peer) ASNOnDay(day int) uint32 {
+	if len(p.ipSchedule) == 0 {
+		return 0
+	}
+	cur := p.ipSchedule[0]
+	for _, seg := range p.ipSchedule[1:] {
+		if seg.fromDay > day {
+			break
+		}
+		cur = seg
+	}
+	return cur.asn
+}
+
+// KnownIPOn reports whether the peer publishes an IP on the given day.
+func (p *Peer) KnownIPOn(day int) bool {
+	return p.Status == StatusKnownIP && len(p.ipSchedule) > 0
+}
+
+// TunnelEligible reports whether other peers would select this peer as a
+// tunnel hop: reachable, publishing an address, with at least M bandwidth.
+func (p *Peer) TunnelEligible() bool {
+	return p.Status == StatusKnownIP && p.Reachable && p.Class.AtLeast(netdb.ClassM)
+}
+
+// buildIPSchedule precomputes the peer's address assignments across its
+// active window using its churn IP profile and the geo allocator.
+func (p *Peer) buildIPSchedule(db *geo.DB, horizonDays int, rng *rand.Rand) {
+	if p.Status != StatusKnownIP {
+		return
+	}
+	pickASN := func() uint32 {
+		return p.ASPool[rng.IntN(len(p.ASPool))]
+	}
+	mkSeg := func(day int) ipAssignment {
+		asn := pickASN()
+		seg := ipAssignment{fromDay: day, asn: asn, addr: db.RandomIPv4(asn, rng)}
+		if p.IPProfile.IPv6 {
+			seg.v6 = db.RandomIPv6(asn, rng)
+		}
+		return seg
+	}
+	p.ipSchedule = append(p.ipSchedule, mkSeg(p.StartDay))
+	if p.IPProfile.Mode == churn.IPStatic {
+		return
+	}
+	end := p.StartDay + len(p.Presence)
+	if end > horizonDays {
+		end = horizonDays
+	}
+	clock := float64(p.StartDay)
+	for {
+		clock += p.IPProfile.NextRotationDays(rng)
+		day := int(clock)
+		if day >= end {
+			return
+		}
+		if day <= p.ipSchedule[len(p.ipSchedule)-1].fromDay {
+			// Multiple rotations within one day: the daily schedule keeps
+			// the last address, but the earlier one was still observable
+			// by hourly captures, so record it.
+			old := p.ipSchedule[len(p.ipSchedule)-1]
+			p.extraIPs = append(p.extraIPs, old.addr)
+			p.extraASNs = append(p.extraASNs, old.asn)
+			p.ipSchedule[len(p.ipSchedule)-1] = mkSeg(day)
+			continue
+		}
+		p.ipSchedule = append(p.ipSchedule, mkSeg(day))
+	}
+}
+
+// UniqueIPs returns the number of distinct IPv4 addresses across the
+// peer's schedule, including same-day rotations — Figure 8's per-peer
+// statistic at the paper's hourly capture resolution.
+func (p *Peer) UniqueIPs() int {
+	seen := make(map[netip.Addr]bool, len(p.ipSchedule)+len(p.extraIPs))
+	for _, seg := range p.ipSchedule {
+		seen[seg.addr] = true
+	}
+	for _, a := range p.extraIPs {
+		seen[a] = true
+	}
+	return len(seen)
+}
+
+// UniqueASNs returns the number of distinct autonomous systems across the
+// peer's schedule — Figure 12's per-peer statistic.
+func (p *Peer) UniqueASNs() int {
+	seen := make(map[uint32]bool, 4)
+	for _, seg := range p.ipSchedule {
+		seen[seg.asn] = true
+	}
+	for _, a := range p.extraASNs {
+		seen[a] = true
+	}
+	return len(seen)
+}
+
+// RouterInfoOn materializes the peer's RouterInfo as published on the given
+// study day. introducerPool supplies candidate introducers for firewalled
+// peers (known-IP reachable peers active the same day).
+func (p *Peer) RouterInfoOn(day int, dayTime time.Time, introducerPool []*Peer, rng *rand.Rand) *netdb.RouterInfo {
+	caps := netdb.Caps{
+		Class:       p.Class,
+		LegacyO:     p.LegacyO,
+		Floodfill:   p.Floodfill,
+		Reachable:   p.Status == StatusKnownIP && p.Reachable,
+		Unreachable: !(p.Status == StatusKnownIP && p.Reachable),
+	}
+	ri := &netdb.RouterInfo{
+		Identity:  p.ID,
+		Published: dayTime,
+		Version:   "0.9.34",
+	}
+	switch p.Status {
+	case StatusKnownIP:
+		v4, v6 := p.AddrOnDay(day)
+		port := uint16(9000 + rng.IntN(22001)) // I2P's 9000–31000 range
+		if v4.IsValid() {
+			ri.Addresses = append(ri.Addresses, netdb.RouterAddress{
+				Transport: netdb.TransportNTCP,
+				Addr:      v4,
+				Port:      port,
+			})
+			ri.Addresses = append(ri.Addresses, netdb.RouterAddress{
+				Transport: netdb.TransportSSU,
+				Addr:      v4,
+				Port:      port,
+			})
+		}
+		if v6.IsValid() {
+			ri.Addresses = append(ri.Addresses, netdb.RouterAddress{
+				Transport: netdb.TransportNTCP,
+				Addr:      v6,
+				Port:      port,
+			})
+		}
+	case StatusFirewalled, StatusToggling:
+		addr := netdb.RouterAddress{Transport: netdb.TransportSSU}
+		n := 1 + rng.IntN(3)
+		for i := 0; i < n && len(introducerPool) > 0; i++ {
+			in := introducerPool[rng.IntN(len(introducerPool))]
+			v4, _ := in.AddrOnDay(day)
+			if !v4.IsValid() {
+				continue
+			}
+			addr.Introducers = append(addr.Introducers, netdb.Introducer{
+				Hash: in.ID,
+				Tag:  rng.Uint32(),
+				Addr: v4,
+				Port: uint16(9000 + rng.IntN(22001)),
+			})
+		}
+		ri.Addresses = append(ri.Addresses, addr)
+		if p.Status == StatusToggling {
+			// Within the day the peer also appeared with hidden config;
+			// the H flag records it, putting the peer in both groups.
+			caps.Hidden = true
+		}
+	case StatusHidden:
+		caps.Hidden = true
+	}
+	ri.Caps = caps
+	return ri
+}

@@ -1,0 +1,472 @@
+// Package sim builds and replays a synthetic I2P network calibrated to the
+// paper's measured marginals. It is the offline substitute for the live
+// network (see DESIGN.md): ~32K daily peers whose capacity flags, address
+// publication behaviour, churn, IP rotation and geographic mix follow
+// Sections 5.1–5.3, plus an observation model implementing the four
+// RouterInfo-propagation mechanisms of Section 4.2 through which observer
+// routers — and censors — learn about peers.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/churn"
+	"github.com/i2pstudy/i2pstudy/internal/geo"
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+)
+
+// StudyStart is the first day of the paper's measurement campaign
+// (February 1, 2018, UTC).
+var StudyStart = time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+
+// Config parameterizes a synthetic network.
+type Config struct {
+	// Seed drives every random choice; equal seeds give identical
+	// networks.
+	Seed uint64
+	// Days is the study horizon (the paper ran for ~90 days).
+	Days int
+	// TargetDailyPeers calibrates the arrival rate so that the expected
+	// number of distinct peers seen per day matches (the paper: ~30.5K).
+	// Tests and benches use scaled-down values; all shape statistics are
+	// scale-invariant.
+	TargetDailyPeers int
+	// Churn overrides the churn model configuration (zero value means
+	// churn.DefaultConfig).
+	Churn *churn.Config
+	// Observation overrides the observation constants (zero value means
+	// DefaultObservation).
+	Observation *ObservationParams
+}
+
+// DefaultConfig returns the full-scale configuration of the paper's main
+// campaign.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Days: 90, TargetDailyPeers: 30500}
+}
+
+// Status mix (Section 5.1 / Figure 6): per-day ~30.5K peers split into
+// ~15.5K known-IP, ~11.4K firewalled-only, ~1.4K hidden-only and ~2.6K
+// toggling between the last two.
+const (
+	fracKnownIP    = 0.49
+	fracFirewalled = 0.375
+	fracHiddenOnly = 0.046
+	// remainder: toggling
+)
+
+// Primary bandwidth-class probabilities, normalized from the paper's
+// Table 1 "Total" column.
+var classProbs = []struct {
+	class netdb.BandwidthClass
+	p     float64
+}{
+	{netdb.ClassL, 0.5925},
+	{netdb.ClassN, 0.2529},
+	{netdb.ClassP, 0.0600},
+	{netdb.ClassX, 0.0490},
+	{netdb.ClassO, 0.0244},
+	{netdb.ClassM, 0.0111},
+	{netdb.ClassK, 0.0101},
+}
+
+// Per-class probability that a peer runs in floodfill mode, shaped so the
+// floodfill population (~8.8% of peers) has Table 1's floodfill column:
+// N-class dominant, with a ~29% minority of manually enabled K/L/M
+// floodfills. Floodfill mode requires a published address, so these
+// probabilities apply to known-IP reachable peers only (and are therefore
+// roughly double the whole-network rates).
+var floodfillProbByClass = map[netdb.BandwidthClass]float64{
+	netdb.ClassK: 0.015,
+	netdb.ClassL: 0.069,
+	netdb.ClassM: 0.30,
+	netdb.ClassN: 0.38,
+	netdb.ClassO: 0.33,
+	netdb.ClassP: 0.42,
+	netdb.ClassX: 0.43,
+}
+
+// legacyOProb is the probability that a P- or X-class router also
+// publishes the backwards-compatible O flag.
+const legacyOProb = 0.20
+
+// Exposure tiers (see Observer): the well-exposed fraction is visible to
+// any serious observer every day; the weak tier produces the long tail of
+// Figure 4.
+const (
+	wellExposedFrac = 0.45
+	wellExposedMin  = 0.90
+	weakExposureLo  = 0.05
+	weakExposureHi  = 0.45
+	stealthFrac     = 0.06 // of weak peers: nearly invisible
+	stealthExposure = 0.006
+)
+
+// Network is a fully materialized synthetic I2P network.
+type Network struct {
+	cfg   Config
+	model *churn.Model
+	geo   *geo.DB
+
+	Peers []*Peer
+	// activeByDay[d] lists indexes of peers online on study day d.
+	activeByDay [][]int
+	// introducersByDay[d] caches the known-IP reachable peers available
+	// as introducers on day d.
+	introducersByDay [][]*Peer
+
+	obs ObservationParams
+}
+
+// New builds a network. Construction cost is O(peers x days).
+func New(cfg Config) (*Network, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("sim: Days must be positive, got %d", cfg.Days)
+	}
+	if cfg.TargetDailyPeers <= 0 {
+		return nil, fmt.Errorf("sim: TargetDailyPeers must be positive, got %d", cfg.TargetDailyPeers)
+	}
+	ccfg := churn.DefaultConfig()
+	if cfg.Churn != nil {
+		ccfg = *cfg.Churn
+	}
+	model, err := churn.NewModel(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:   cfg,
+		model: model,
+		geo:   geo.NewDB(),
+		obs:   DefaultObservation(),
+	}
+	if cfg.Observation != nil {
+		n.obs = *cfg.Observation
+	}
+	n.populate()
+	n.index()
+	return n, nil
+}
+
+// GeoDB returns the network's geolocation database.
+func (n *Network) GeoDB() *geo.DB { return n.geo }
+
+// Days returns the study horizon.
+func (n *Network) Days() int { return n.cfg.Days }
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// DayTime returns the wall-clock time corresponding to noon of a study day.
+func (n *Network) DayTime(day int) time.Time {
+	return StudyStart.Add(time.Duration(day)*24*time.Hour + 12*time.Hour)
+}
+
+// survival returns P(span > t days) under the churn mixture.
+func survival(cfg churn.Config, t float64) float64 {
+	s := func(floor, mean float64) float64 {
+		if t < floor {
+			return 1
+		}
+		return math.Exp(-(t - floor) / mean)
+	}
+	return cfg.StableFrac*s(cfg.StableSpanFloor, cfg.StableSpanMean) +
+		cfg.RegularFrac*s(cfg.RegularSpanFloor, cfg.RegularSpanMean) +
+		cfg.TransientFrac*s(cfg.TransientSpanFloor, cfg.TransientSpanMean)
+}
+
+// residualProfile samples a profile conditioned on span > age, shifted so
+// only the residual span remains (memorylessness of the exponential tail).
+func residualProfile(m *churn.Model, age int, rng *rand.Rand) churn.Profile {
+	cfg := m.Config()
+	type cp struct {
+		class       churn.Class
+		frac        float64
+		floor, mean float64
+		onOn, offOn float64
+	}
+	classes := []cp{
+		{churn.ClassStable, cfg.StableFrac, cfg.StableSpanFloor, cfg.StableSpanMean, cfg.StableOnOn, cfg.StableOffOn},
+		{churn.ClassRegular, cfg.RegularFrac, cfg.RegularSpanFloor, cfg.RegularSpanMean, cfg.RegularOnOn, cfg.RegularOffOn},
+		{churn.ClassTransient, cfg.TransientFrac, cfg.TransientSpanFloor, cfg.TransientSpanMean, cfg.TransientOnOn, cfg.TransientOffOn},
+	}
+	// P(class | span > age) ∝ frac_c * S_c(age).
+	var weights [3]float64
+	total := 0.0
+	for i, c := range classes {
+		s := 1.0
+		if float64(age) >= c.floor {
+			s = math.Exp(-(float64(age) - c.floor) / c.mean)
+		}
+		weights[i] = c.frac * s
+		total += weights[i]
+	}
+	x := rng.Float64() * total
+	sel := classes[len(classes)-1]
+	for i, c := range classes {
+		x -= weights[i]
+		if x <= 0 {
+			sel = c
+			break
+		}
+	}
+	// Residual span: if the peer is younger than the floor, the remaining
+	// floor plus a fresh exponential; otherwise memoryless exponential.
+	var residual int
+	if float64(age) < sel.floor {
+		residual = int(sel.floor) - age + int(rng.ExpFloat64()*sel.mean)
+	} else {
+		residual = 1 + int(rng.ExpFloat64()*sel.mean)
+	}
+	if residual < 1 {
+		residual = 1
+	}
+	return churn.Profile{Class: sel.class, SpanDays: residual, OnOn: sel.onOn, OffOn: sel.offOn}
+}
+
+// populate creates the steady-state initial population plus daily arrivals.
+func (n *Network) populate() {
+	rng := rand.New(rand.NewPCG(n.cfg.Seed, n.cfg.Seed^0xD1B54A32D192ED03))
+	ccfg := n.model.Config()
+	// The arrival rate must use the *uncapped* expected active days per
+	// peer: the steady-state construction below integrates full spans, so
+	// capping at the study horizon would double-count short studies.
+	expected := n.model.ExpectedActiveDays(1 << 20)
+	lambda := float64(n.cfg.TargetDailyPeers) / expected
+
+	nextID := uint64(1)
+	addPeer := func(profile churn.Profile, startDay int, stationaryStart bool) {
+		p := &Peer{
+			Index:    len(n.Peers),
+			ID:       netdb.HashFromUint64(n.cfg.Seed<<32 | nextID),
+			Profile:  profile,
+			StartDay: startDay,
+		}
+		nextID++
+		horizon := n.cfg.Days - startDay
+		if stationaryStart {
+			p.Presence = generatePresenceStationary(profile, rng, horizon)
+		} else {
+			p.Presence = profile.GeneratePresence(rng, horizon)
+		}
+		n.decorate(p, rng)
+		n.Peers = append(n.Peers, p)
+	}
+
+	// Steady-state initial population: for each age t, round(lambda *
+	// S(t)) peers that arrived t days ago and are still in-span.
+	maxAge := int(ccfg.StableSpanFloor + 8*ccfg.StableSpanMean)
+	carry := 0.0
+	for t := 0; t <= maxAge; t++ {
+		exact := lambda*survival(ccfg, float64(t)) + carry
+		count := int(exact)
+		carry = exact - float64(count)
+		for i := 0; i < count; i++ {
+			addPeer(residualProfile(n.model, t, rng), 0, true)
+		}
+	}
+	// Fresh arrivals during the study.
+	carry = 0.0
+	for d := 0; d < n.cfg.Days; d++ {
+		exact := lambda + carry
+		count := int(exact)
+		carry = exact - float64(count)
+		for i := 0; i < count; i++ {
+			addPeer(n.model.SampleProfile(rng), d, false)
+		}
+	}
+}
+
+// generatePresenceStationary is GeneratePresence but with the day-0 state
+// drawn from the chain's stationary distribution (for peers already in the
+// network at study start).
+func generatePresenceStationary(p churn.Profile, rng *rand.Rand, maxDays int) []bool {
+	days := p.SpanDays
+	if days > maxDays {
+		days = maxDays
+	}
+	if days <= 0 {
+		return nil
+	}
+	out := make([]bool, days)
+	online := rng.Float64() < p.ExpectedDailyPresence()
+	out[0] = online
+	for d := 1; d < days; d++ {
+		var pOn float64
+		if online {
+			pOn = p.OnOn
+		} else {
+			pOn = p.OffOn
+		}
+		online = rng.Float64() < pOn
+		out[d] = online
+	}
+	return out
+}
+
+// decorate assigns all non-temporal attributes: status, class, geography,
+// exposure and the IP schedule.
+func (n *Network) decorate(p *Peer, rng *rand.Rand) {
+	// Geography first: censored-country peers default to hidden.
+	country := n.geo.SampleCountry(rng)
+	p.Country = country.Code
+
+	censored := country.Censored()
+	x := rng.Float64()
+	switch {
+	case censored:
+		// Hidden by default; ~30% of operators disable it for better
+		// integration (Section 5.3.2), and some toggle.
+		switch {
+		case x < 0.55:
+			p.Status = StatusHidden
+		case x < 0.70:
+			p.Status = StatusToggling
+		case x < 0.85:
+			p.Status = StatusKnownIP
+		default:
+			p.Status = StatusFirewalled
+		}
+	case x < fracKnownIP:
+		p.Status = StatusKnownIP
+	case x < fracKnownIP+fracFirewalled:
+		p.Status = StatusFirewalled
+	case x < fracKnownIP+fracFirewalled+fracHiddenOnly:
+		p.Status = StatusHidden
+	default:
+		p.Status = StatusToggling
+	}
+
+	// Bandwidth class and rate.
+	y := rng.Float64()
+	p.Class = netdb.ClassL
+	for _, cp := range classProbs {
+		y -= cp.p
+		if y <= 0 {
+			p.Class = cp.class
+			break
+		}
+	}
+	lo, hi := p.Class.RangeKBps()
+	if hi < 0 {
+		hi = 8192
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	p.RateKBps = lo + rng.IntN(hi-lo)
+	p.LegacyO = (p.Class == netdb.ClassP || p.Class == netdb.ClassX) && rng.Float64() < legacyOProb
+
+	// Reachability and floodfill mode (known-IP peers only).
+	if p.Status == StatusKnownIP {
+		p.Reachable = rng.Float64() < 0.97
+		if p.Reachable && rng.Float64() < floodfillProbByClass[p.Class] {
+			p.Floodfill = true
+		}
+	}
+
+	// Exposure tier.
+	if rng.Float64() < wellExposedFrac {
+		p.WellExposed = true
+		p.Exposure = wellExposedMin + rng.Float64()*(1-wellExposedMin)
+	} else if rng.Float64() < stealthFrac {
+		p.Exposure = stealthExposure * (0.5 + rng.Float64())
+	} else {
+		p.Exposure = weakExposureLo + rng.Float64()*(weakExposureHi-weakExposureLo)
+	}
+	// Stable, high-bandwidth peers are systematically more visible.
+	if p.Profile.Class == churn.ClassStable && !p.WellExposed {
+		p.Exposure = math.Min(1, p.Exposure*1.5)
+	}
+
+	// IP profile and AS pool.
+	p.IPProfile = n.model.SampleIPProfile(rng)
+	fillPool := func(want int, pick func() uint32) {
+		seen := map[uint32]bool{}
+		// Bounded attempts: sparse countries may not offer `want`
+		// distinct ASes through the home-country picker alone.
+		for attempts := 0; len(p.ASPool) < want && attempts < 40*want; attempts++ {
+			asn := pick()
+			if !seen[asn] {
+				seen[asn] = true
+				p.ASPool = append(p.ASPool, asn)
+			}
+		}
+	}
+	switch p.IPProfile.Mode {
+	case churn.IPStatic, churn.IPDynamic:
+		as := n.geo.SampleAS(p.Country, rng)
+		p.ASPool = []uint32{as.ASN}
+	case churn.IPMultiAS:
+		// Home ISPs, VPN endpoints and occasional foreign networks.
+		fillPool(p.IPProfile.ASFanout, func() uint32 {
+			x := rng.Float64()
+			switch {
+			case x < 0.45:
+				return n.geo.SampleAS(p.Country, rng).ASN
+			case x < 0.75:
+				return n.geo.SampleVPNAS(rng).ASN
+			default:
+				c := n.geo.SampleCountry(rng)
+				return n.geo.SampleAS(c.Code, rng).ASN
+			}
+		})
+	case churn.IPHeavy:
+		// VPN/Tor-style: mostly hosting ASes plus random countries.
+		fillPool(p.IPProfile.ASFanout, func() uint32 {
+			if rng.Float64() < 0.4 {
+				return n.geo.SampleVPNAS(rng).ASN
+			}
+			c := n.geo.SampleCountry(rng)
+			return n.geo.SampleAS(c.Code, rng).ASN
+		})
+	}
+	p.buildIPSchedule(n.geo, n.cfg.Days, rng)
+}
+
+// index builds the per-day active sets and introducer pools.
+func (n *Network) index() {
+	n.activeByDay = make([][]int, n.cfg.Days)
+	n.introducersByDay = make([][]*Peer, n.cfg.Days)
+	for _, p := range n.Peers {
+		for i, on := range p.Presence {
+			if !on {
+				continue
+			}
+			d := p.StartDay + i
+			if d < 0 || d >= n.cfg.Days {
+				continue
+			}
+			n.activeByDay[d] = append(n.activeByDay[d], p.Index)
+			if p.Status == StatusKnownIP && p.Reachable {
+				n.introducersByDay[d] = append(n.introducersByDay[d], p)
+			}
+		}
+	}
+}
+
+// ActivePeers returns the indexes of peers online on the given study day.
+func (n *Network) ActivePeers(day int) []int {
+	if day < 0 || day >= len(n.activeByDay) {
+		return nil
+	}
+	return n.activeByDay[day]
+}
+
+// Introducers returns the known-IP reachable peers active on day, used as
+// the introducer pool for firewalled peers.
+func (n *Network) Introducers(day int) []*Peer {
+	if day < 0 || day >= len(n.introducersByDay) {
+		return nil
+	}
+	return n.introducersByDay[day]
+}
+
+// RouterInfoFor materializes the RouterInfo the given peer publishes on
+// day. rng drives port/introducer choices.
+func (n *Network) RouterInfoFor(p *Peer, day int, rng *rand.Rand) *netdb.RouterInfo {
+	return p.RouterInfoOn(day, n.DayTime(day), n.Introducers(day), rng)
+}

@@ -1,0 +1,462 @@
+// Package stats provides the small descriptive-statistics toolkit used by
+// every experiment in the study: counters, histograms, empirical CDFs,
+// quantiles and time series, plus plain-text rendering of tables and series
+// in the layout of the paper's figures.
+//
+// All types are deterministic and allocation-conscious; none of them touch
+// global state, so they are safe to use from benchmark loops.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter counts occurrences of string keys, preserving enough information
+// to render top-N tables such as the paper's Figure 10 (countries) and
+// Figure 11 (autonomous systems).
+type Counter struct {
+	counts map[string]int
+	total  int
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int)}
+}
+
+// Add increments key by n. Negative n is allowed and decrements.
+func (c *Counter) Add(key string, n int) {
+	c.counts[key] += n
+	c.total += n
+}
+
+// Inc increments key by one.
+func (c *Counter) Inc(key string) { c.Add(key, 1) }
+
+// Get returns the count for key (zero if absent).
+func (c *Counter) Get(key string) int { return c.counts[key] }
+
+// Total returns the sum of all counts.
+func (c *Counter) Total() int { return c.total }
+
+// Len returns the number of distinct keys.
+func (c *Counter) Len() int { return len(c.counts) }
+
+// KV is a key/count pair produced by Counter.Top.
+type KV struct {
+	Key   string
+	Count int
+}
+
+// Top returns the n largest entries in descending count order. Ties are
+// broken lexicographically so that output is deterministic. If n <= 0 or
+// exceeds the number of keys, all entries are returned.
+func (c *Counter) Top(n int) []KV {
+	out := make([]KV, 0, len(c.counts))
+	for k, v := range c.counts {
+		out = append(out, KV{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// CumulativeShare returns, for the given ordered entries, the running share
+// of Total() expressed in percent. It matches the right-hand axes of
+// Figures 10 and 11.
+func (c *Counter) CumulativeShare(entries []KV) []float64 {
+	shares := make([]float64, len(entries))
+	run := 0
+	for i, e := range entries {
+		run += e.Count
+		if c.total > 0 {
+			shares[i] = 100 * float64(run) / float64(c.total)
+		}
+	}
+	return shares
+}
+
+// IntHistogram is a histogram over small non-negative integers (for example
+// "number of IP addresses a peer was associated with", Figure 8, or
+// "number of autonomous systems", Figure 12).
+type IntHistogram struct {
+	buckets map[int]int
+	total   int
+}
+
+// NewIntHistogram returns an empty IntHistogram.
+func NewIntHistogram() *IntHistogram {
+	return &IntHistogram{buckets: make(map[int]int)}
+}
+
+// Observe records one observation of value v.
+func (h *IntHistogram) Observe(v int) {
+	h.buckets[v]++
+	h.total++
+}
+
+// Count returns the number of observations equal to v.
+func (h *IntHistogram) Count(v int) int { return h.buckets[v] }
+
+// CountAtLeast returns the number of observations >= v.
+func (h *IntHistogram) CountAtLeast(v int) int {
+	n := 0
+	for k, c := range h.buckets {
+		if k >= v {
+			n += c
+		}
+	}
+	return n
+}
+
+// Total returns the number of observations.
+func (h *IntHistogram) Total() int { return h.total }
+
+// Share returns the percentage of observations equal to v.
+func (h *IntHistogram) Share(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return 100 * float64(h.buckets[v]) / float64(h.total)
+}
+
+// ShareAtLeast returns the percentage of observations >= v.
+func (h *IntHistogram) ShareAtLeast(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return 100 * float64(h.CountAtLeast(v)) / float64(h.total)
+}
+
+// Max returns the largest observed value, or zero when empty.
+func (h *IntHistogram) Max() int {
+	m := 0
+	for k := range h.buckets {
+		if k > m {
+			m = k
+		}
+	}
+	return m
+}
+
+// Values returns the observed values in ascending order.
+func (h *IntHistogram) Values() []int {
+	vs := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		vs = append(vs, k)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Sample accumulates float64 observations for summary statistics
+// (page-load times, per-day peer counts, and so on).
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns an empty Sample.
+func NewSample() *Sample { return &Sample{} }
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll records every observation in xs.
+func (s *Sample) AddAll(xs []float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or zero when empty.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Min returns the smallest observation, or zero when empty.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or zero when empty.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Stddev returns the population standard deviation, or zero when empty.
+func (s *Sample) Stddev() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		d := x - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
+// between closest ranks. It returns zero when the sample is empty.
+func (s *Sample) Quantile(q float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Series is a labelled sequence of (x, y) points — one line in one of the
+// paper's figures.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds one point to the series.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the y value at the first point whose x equals the argument,
+// and reports whether such a point exists.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// MaxY returns the largest y value, or zero when empty.
+func (s *Series) MaxY() float64 {
+	m := 0.0
+	for i, y := range s.Y {
+		if i == 0 || y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// MinY returns the smallest y value, or zero when empty.
+func (s *Series) MinY() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	m := s.Y[0]
+	for _, y := range s.Y[1:] {
+		if y < m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Figure is a set of series sharing axes: the in-memory form of one of the
+// paper's plots. Render produces a plain-text representation with the same
+// rows the paper reports.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// AddSeries appends a new named series and returns it for population.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// FindSeries returns the series with the given name, or nil.
+func (f *Figure) FindSeries(name string) *Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Render writes the figure as an aligned text table: one row per x value,
+// one column per series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", f.Title)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	// Collect the union of x values across series, in first-seen order of
+	// the first series then any extras sorted ascending.
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if y, ok := s.YAt(x); ok {
+				row = append(row, trimFloat(y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(RenderTable(rows))
+	return b.String()
+}
+
+// RenderTable renders rows as an aligned plain-text table. The first row is
+// treated as a header and underlined.
+func RenderTable(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(rows[0])
+	total := 0
+	for i, w := range widths {
+		if i > 0 {
+			total += 2
+		}
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range rows[1:] {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Percent formats a ratio num/den as a percentage with two decimals,
+// returning "0.00%" when den is zero.
+func Percent(num, den int) string {
+	if den == 0 {
+		return "0.00%"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(num)/float64(den))
+}
+
+// Ratio returns num/den as a float, or zero when den is zero.
+func Ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

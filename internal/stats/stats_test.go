@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	c.Inc("US")
+	c.Inc("US")
+	c.Add("RU", 5)
+	c.Add("DE", 1)
+	if c.Get("US") != 2 || c.Get("RU") != 5 || c.Get("??") != 0 {
+		t.Fatal("Get wrong")
+	}
+	if c.Total() != 8 || c.Len() != 3 {
+		t.Fatalf("Total=%d Len=%d", c.Total(), c.Len())
+	}
+	top := c.Top(2)
+	if len(top) != 2 || top[0].Key != "RU" || top[1].Key != "US" {
+		t.Fatalf("Top = %v", top)
+	}
+	all := c.Top(0)
+	if len(all) != 3 {
+		t.Fatalf("Top(0) = %v", all)
+	}
+	shares := c.CumulativeShare(top)
+	if math.Abs(shares[0]-62.5) > 0.01 || math.Abs(shares[1]-87.5) > 0.01 {
+		t.Fatalf("shares = %v", shares)
+	}
+}
+
+func TestCounterTopDeterministicTies(t *testing.T) {
+	c := NewCounter()
+	for _, k := range []string{"b", "a", "c"} {
+		c.Add(k, 7)
+	}
+	top := c.Top(3)
+	if top[0].Key != "a" || top[1].Key != "b" || top[2].Key != "c" {
+		t.Fatalf("tie order not lexicographic: %v", top)
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	h := NewIntHistogram()
+	for _, v := range []int{1, 1, 1, 2, 2, 5, 16} {
+		h.Observe(v)
+	}
+	if h.Total() != 7 || h.Count(1) != 3 || h.Count(3) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if h.CountAtLeast(2) != 4 {
+		t.Fatalf("CountAtLeast(2) = %d", h.CountAtLeast(2))
+	}
+	if math.Abs(h.Share(1)-3.0/7*100) > 1e-9 {
+		t.Fatalf("Share(1) = %v", h.Share(1))
+	}
+	if math.Abs(h.ShareAtLeast(5)-2.0/7*100) > 1e-9 {
+		t.Fatalf("ShareAtLeast(5) = %v", h.ShareAtLeast(5))
+	}
+	if h.Max() != 16 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	vals := h.Values()
+	if len(vals) != 4 || vals[0] != 1 || vals[3] != 16 {
+		t.Fatalf("Values = %v", vals)
+	}
+	empty := NewIntHistogram()
+	if empty.Share(1) != 0 || empty.ShareAtLeast(1) != 0 || empty.Max() != 0 {
+		t.Fatal("empty histogram accessors wrong")
+	}
+}
+
+func TestSampleStatistics(t *testing.T) {
+	s := NewSample()
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty sample accessors should be zero")
+	}
+	s.AddAll([]float64{4, 2, 8, 6})
+	if s.Len() != 4 || s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 8 {
+		t.Fatal("min/max wrong")
+	}
+	if got := s.Median(); got != 5 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Quantile(0); got != 2 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 8 {
+		t.Fatalf("q1 = %v", got)
+	}
+	// stddev of {2,4,6,8} = sqrt(5)
+	if math.Abs(s.Stddev()-math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("stddev = %v", s.Stddev())
+	}
+	// Adding after quantile must keep working (re-sort path).
+	s.Add(10)
+	if s.Max() != 10 {
+		t.Fatal("Add after Quantile broken")
+	}
+	if s.Quantile(1) != 10 {
+		t.Fatal("re-sort after Add broken")
+	}
+}
+
+func TestSampleQuantileMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		s := NewSample()
+		ok := true
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				s.Add(x)
+				ok = ok && true
+			}
+		}
+		if s.Len() == 0 {
+			return true
+		}
+		q1 := s.Quantile(0.25)
+		q2 := s.Quantile(0.5)
+		q3 := s.Quantile(0.75)
+		return q1 <= q2 && q2 <= q3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Append(1, 10)
+	s.Append(2, 30)
+	s.Append(3, 20)
+	if s.Len() != 3 {
+		t.Fatal("len wrong")
+	}
+	if y, ok := s.YAt(2); !ok || y != 30 {
+		t.Fatal("YAt wrong")
+	}
+	if _, ok := s.YAt(9); ok {
+		t.Fatal("YAt found missing x")
+	}
+	if s.MaxY() != 30 || s.MinY() != 10 {
+		t.Fatalf("MaxY=%v MinY=%v", s.MaxY(), s.MinY())
+	}
+	var empty Series
+	if empty.MaxY() != 0 || empty.MinY() != 0 {
+		t.Fatal("empty series extrema wrong")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{Title: "Test Figure", XLabel: "day", YLabel: "peers"}
+	a := fig.AddSeries("alpha")
+	b := fig.AddSeries("beta")
+	a.Append(1, 100)
+	a.Append(2, 200)
+	b.Append(2, 250)
+	out := fig.Render()
+	if !strings.Contains(out, "Test Figure") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatal("series names missing")
+	}
+	// Missing points render as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatal("gap marker missing")
+	}
+	if fig.FindSeries("alpha") != a || fig.FindSeries("nope") != nil {
+		t.Fatal("FindSeries wrong")
+	}
+	emptyFig := &Figure{Title: "empty"}
+	if !strings.Contains(emptyFig.Render(), "empty") {
+		t.Fatal("empty figure render")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable([][]string{
+		{"name", "count"},
+		{"alpha", "10"},
+		{"beta-long", "2"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Header underline matches the total width.
+	if len(lines[1]) < len("name  count") {
+		t.Fatal("underline too short")
+	}
+	if RenderTable(nil) != "" {
+		t.Fatal("empty table should render empty")
+	}
+	// Ragged rows must not panic.
+	_ = RenderTable([][]string{{"a"}, {"b", "c", "d"}})
+}
+
+func TestPercentAndRatio(t *testing.T) {
+	if Percent(1, 4) != "25.00%" {
+		t.Fatalf("Percent = %s", Percent(1, 4))
+	}
+	if Percent(1, 0) != "0.00%" {
+		t.Fatal("zero denominator")
+	}
+	if Ratio(3, 4) != 0.75 || Ratio(1, 0) != 0 {
+		t.Fatal("Ratio wrong")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(3) != "3" {
+		t.Fatalf("trimFloat(3) = %s", trimFloat(3))
+	}
+	if trimFloat(3.14159) != "3.14" {
+		t.Fatalf("trimFloat(pi) = %s", trimFloat(3.14159))
+	}
+	if trimFloat(-2) != "-2" {
+		t.Fatalf("trimFloat(-2) = %s", trimFloat(-2))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	fig := &Figure{Title: "t", XLabel: "day"}
+	a := fig.AddSeries("alpha")
+	b := fig.AddSeries("beta")
+	a.Append(1, 10)
+	a.Append(2, 20.5)
+	b.Append(2, 30)
+	var buf strings.Builder
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "day,alpha,beta\n1,10,\n2,20.5,30\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,90 @@
+package transport
+
+// This file implements the flow-analysis side of Section 2.2.2: a DPI
+// middlebox that fingerprints I2P NTCP connections purely from the sizes of
+// the first handshake messages, without inspecting payload bytes (which are
+// randomized). It is the adversary the NTCP2 padding is designed to defeat.
+
+// Protocol is a DPI classification verdict.
+type Protocol int
+
+// Classifier verdicts.
+const (
+	// ProtocolUnknown means the flow does not match any known signature.
+	ProtocolUnknown Protocol = iota
+	// ProtocolI2PNTCP means the flow matches the classic NTCP handshake
+	// signature (288, 304, 448, 48).
+	ProtocolI2PNTCP
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolI2PNTCP:
+		return "i2p-ntcp"
+	default:
+		return "unknown"
+	}
+}
+
+// ntcpSignature is the byte-size sequence of the first four NTCP handshake
+// messages as seen by a passive observer.
+var ntcpSignature = [4]int{
+	SessionRequestSize,
+	SessionCreatedSize,
+	SessionConfirmASize,
+	SessionConfirmBSize,
+}
+
+// NTCPSignature returns a copy of the classic handshake size signature.
+func NTCPSignature() []int {
+	sig := ntcpSignature
+	return sig[:]
+}
+
+// ClassifyFlow inspects the first message sizes of a flow (in protocol
+// order: client, server, client, server) and returns a verdict. Flows
+// shorter than four messages are unknown: a DPI box cannot commit early
+// without false positives.
+func ClassifyFlow(sizes []int) Protocol {
+	if len(sizes) < len(ntcpSignature) {
+		return ProtocolUnknown
+	}
+	for i, want := range ntcpSignature {
+		if sizes[i] != want {
+			return ProtocolUnknown
+		}
+	}
+	return ProtocolI2PNTCP
+}
+
+// Middlebox is a stateful DPI element that observes flows and tallies
+// verdicts, as a censoring firewall would. The zero value is ready to use.
+type Middlebox struct {
+	flows    int
+	detected int
+}
+
+// Observe classifies one flow trace and updates counters, returning the
+// verdict.
+func (m *Middlebox) Observe(sizes []int) Protocol {
+	m.flows++
+	v := ClassifyFlow(sizes)
+	if v == ProtocolI2PNTCP {
+		m.detected++
+	}
+	return v
+}
+
+// Flows returns how many flows were observed.
+func (m *Middlebox) Flows() int { return m.flows }
+
+// Detected returns how many flows were classified as I2P NTCP.
+func (m *Middlebox) Detected() int { return m.detected }
+
+// DetectionRate returns the fraction of observed flows classified as I2P.
+func (m *Middlebox) DetectionRate() float64 {
+	if m.flows == 0 {
+		return 0
+	}
+	return float64(m.detected) / float64(m.flows)
+}

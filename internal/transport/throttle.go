@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// This file implements the shared-bandwidth limit every I2P router
+// enforces — the knob the paper sweeps from 128 KB/s to 8 MB/s in its
+// Section 4 methodology experiments. A token-bucket Limiter paces writes;
+// ThrottledConn applies it to a Conn.
+
+// Limiter is a token-bucket rate limiter over bytes. It is safe for
+// concurrent use.
+type Limiter struct {
+	mu sync.Mutex
+
+	bytesPerSec float64
+	burst       float64
+
+	tokens float64
+	last   time.Time
+
+	// now and sleep are injectable for deterministic tests.
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+// NewLimiter returns a limiter allowing bytesPerSec sustained throughput
+// with the given burst size in bytes. A burst below one frame would
+// deadlock writers, so it is floored to 4 KiB.
+func NewLimiter(bytesPerSec int, burst int) *Limiter {
+	if bytesPerSec <= 0 {
+		bytesPerSec = 1
+	}
+	if burst < 4096 {
+		burst = 4096
+	}
+	return &Limiter{
+		bytesPerSec: float64(bytesPerSec),
+		burst:       float64(burst),
+		tokens:      float64(burst),
+		now:         time.Now,
+		sleep:       time.Sleep,
+	}
+}
+
+// refill adds tokens for elapsed time; callers hold mu.
+func (l *Limiter) refill() {
+	now := l.now()
+	if !l.last.IsZero() {
+		l.tokens += now.Sub(l.last).Seconds() * l.bytesPerSec
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+}
+
+// reserve consumes n bytes of budget and returns how long the caller must
+// wait before sending. Requests larger than the burst are still honoured:
+// the bucket goes negative and the caller waits out the debt, which keeps
+// the *average* rate at bytesPerSec.
+func (l *Limiter) reserve(n int) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refill()
+	l.tokens -= float64(n)
+	if l.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-l.tokens / l.bytesPerSec * float64(time.Second))
+}
+
+// WaitN blocks until n bytes of budget are available.
+func (l *Limiter) WaitN(n int) {
+	if d := l.reserve(n); d > 0 {
+		l.sleep(d)
+	}
+}
+
+// Rate returns the configured sustained rate in bytes per second.
+func (l *Limiter) Rate() int { return int(l.bytesPerSec) }
+
+// ThrottledConn wraps a Conn, pacing WriteMessage at the limiter's rate.
+// Reads are not throttled: I2P's shared-bandwidth setting governs what the
+// router contributes, and inbound pacing is the sender's problem.
+type ThrottledConn struct {
+	*Conn
+	limiter *Limiter
+}
+
+// Throttle wraps c with a sustained rate of kbps kilobytes per second,
+// mirroring the router console's shared-bandwidth setting.
+func Throttle(c *Conn, kbps int) *ThrottledConn {
+	return &ThrottledConn{
+		Conn:    c,
+		limiter: NewLimiter(kbps*1024, 64*1024),
+	}
+}
+
+// WriteMessage paces the frame through the token bucket, then sends it.
+func (t *ThrottledConn) WriteMessage(payload []byte) error {
+	t.limiter.WaitN(len(payload) + 2 + frameTagSize)
+	return t.Conn.WriteMessage(payload)
+}
+
+// Limiter exposes the underlying limiter (for sharing one budget across
+// several connections, as a router's global shared-bandwidth cap does).
+func (t *ThrottledConn) Limiter() *Limiter { return t.limiter }

@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock provides a deterministic now/sleep pair: sleeping advances
+// time instantly.
+type fakeClock struct {
+	t time.Time
+	// slept accumulates requested sleep time.
+	slept time.Duration
+}
+
+func (c *fakeClock) now() time.Time { return c.t }
+func (c *fakeClock) sleep(d time.Duration) {
+	c.slept += d
+	c.t = c.t.Add(d)
+}
+
+func testLimiter(bytesPerSec, burst int) (*Limiter, *fakeClock) {
+	l := NewLimiter(bytesPerSec, burst)
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	l.now = clock.now
+	l.sleep = clock.sleep
+	return l, clock
+}
+
+func TestLimiterBurstThenPace(t *testing.T) {
+	l, clock := testLimiter(10_000, 10_000)
+	// The first burst goes through without waiting.
+	l.WaitN(10_000)
+	if clock.slept != 0 {
+		t.Fatalf("burst write slept %v", clock.slept)
+	}
+	// The next 10 KB must wait ~1 second (rate 10 KB/s).
+	l.WaitN(10_000)
+	if clock.slept < 900*time.Millisecond || clock.slept > 1100*time.Millisecond {
+		t.Fatalf("second write slept %v, want ~1s", clock.slept)
+	}
+}
+
+func TestLimiterSustainedRate(t *testing.T) {
+	l, clock := testLimiter(100_000, 4096)
+	start := clock.t
+	total := 0
+	for i := 0; i < 100; i++ {
+		l.WaitN(10_000)
+		total += 10_000
+	}
+	elapsed := clock.t.Sub(start).Seconds()
+	if elapsed == 0 {
+		t.Fatal("no time elapsed")
+	}
+	rate := float64(total) / elapsed
+	// Aggregate rate within 10% of the configured 100 KB/s.
+	if rate < 90_000 || rate > 115_000 {
+		t.Fatalf("sustained rate = %.0f B/s, want ~100000", rate)
+	}
+}
+
+func TestLimiterRefillCap(t *testing.T) {
+	l, clock := testLimiter(1_000_000, 8192)
+	// A long idle period must not accumulate more than the burst.
+	clock.t = clock.t.Add(time.Hour)
+	l.WaitN(8192) // consumes the full burst without waiting
+	if clock.slept != 0 {
+		t.Fatalf("slept %v after idle", clock.slept)
+	}
+	l.WaitN(8192) // now must wait ~8.2ms at 1 MB/s
+	if clock.slept <= 0 {
+		t.Fatal("burst cap not enforced after idle")
+	}
+}
+
+func TestLimiterDefaults(t *testing.T) {
+	l := NewLimiter(0, 0)
+	if l.Rate() != 1 {
+		t.Fatalf("zero rate not floored: %d", l.Rate())
+	}
+	if l.burst < 4096 {
+		t.Fatalf("burst not floored: %v", l.burst)
+	}
+}
+
+// TestThrottledConnPacesWrites runs a real loopback connection at a tight
+// rate and verifies wall-clock pacing end to end.
+func TestThrottledConnPacesWrites(t *testing.T) {
+	client, server := connPair(t, VariantNTCP)
+	// 64 KB/s with the default 64 KiB burst: the burst covers the first
+	// writes, then pacing kicks in.
+	tc := Throttle(client, 64)
+	if tc.Limiter().Rate() != 64*1024 {
+		t.Fatalf("rate = %d", tc.Limiter().Rate())
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 6; i++ {
+			if _, err := server.ReadMessage(); err != nil {
+				return
+			}
+		}
+	}()
+
+	payload := make([]byte, 32*1024)
+	start := time.Now()
+	for i := 0; i < 6; i++ { // 192 KiB total, 64 KiB burst -> ~2s at 64 KB/s
+		if err := tc.WriteMessage(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	<-done
+	if elapsed < 1500*time.Millisecond {
+		t.Fatalf("6x32KiB at 64KB/s finished in %v; throttle not applied", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("throttle too aggressive: %v", elapsed)
+	}
+}

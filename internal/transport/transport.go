@@ -1,0 +1,523 @@
+// Package transport implements an NTCP-style obfuscated TCP transport for
+// the study. It reproduces the wire-visible property the paper's DPI
+// discussion hinges on (Section 2.2.2): the first four handshake messages
+// of classic NTCP have fixed lengths of 288, 304, 448 and 48 bytes, which
+// lets flow analysis fingerprint I2P connections even though the payload is
+// randomized. The NTCP2 variant (I2P proposal 111) appends random padding
+// to every handshake message, defeating the size signature; the dpi.go
+// classifier demonstrates both outcomes.
+//
+// The handshake performs a real X25519 key agreement (crypto/ecdh) followed
+// by AES-256-CTR framing with per-frame HMAC-SHA256 tags. It is a faithful
+// simplification, not the actual NTCP protocol: the point is to exercise
+// genuine connection establishment, obfuscation and framing code paths over
+// stdlib net connections.
+package transport
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Classic NTCP handshake wire sizes in bytes (Section 2.2.2: "the first
+// four handshake messages between I2P routers can be detected due to their
+// fixed lengths of 288, 304, 448, and 48 bytes").
+const (
+	SessionRequestSize  = 288
+	SessionCreatedSize  = 304
+	SessionConfirmASize = 448
+	SessionConfirmBSize = 48
+)
+
+// Variant selects the handshake framing behaviour.
+type Variant int
+
+// Transport variants.
+const (
+	// VariantNTCP emits the classic fixed-size handshake.
+	VariantNTCP Variant = iota
+	// VariantNTCP2 appends random padding to each handshake message,
+	// destroying the size signature (the paper's Section 2.2.2 mentions
+	// this mitigation as in development at the time).
+	VariantNTCP2
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantNTCP:
+		return "NTCP"
+	case VariantNTCP2:
+		return "NTCP2"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// NTCP2 padding bounds (bytes appended per handshake message).
+const (
+	ntcp2PadMin = 0
+	ntcp2PadMax = 64
+)
+
+// Config parameterizes a Conn.
+type Config struct {
+	// Variant selects classic NTCP or padded NTCP2 framing.
+	Variant Variant
+	// RouterHash is the responder's identity hash, known to both sides
+	// before connecting (it comes from the RouterInfo). It keys the
+	// handshake obfuscation, like NTCP's use of Bob's router hash.
+	RouterHash [32]byte
+	// HandshakeTimeout bounds the handshake; zero means 10 seconds.
+	HandshakeTimeout time.Duration
+}
+
+func (c Config) timeout() time.Duration {
+	if c.HandshakeTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.HandshakeTimeout
+}
+
+// MaxFrameSize bounds a single data frame payload.
+const MaxFrameSize = 32 * 1024
+
+// frameTagSize is the truncated HMAC-SHA256 tag appended to every frame.
+const frameTagSize = 16
+
+// Errors returned by the transport.
+var (
+	ErrBadHandshake = errors.New("transport: handshake failed")
+	ErrFrameTooBig  = errors.New("transport: frame exceeds maximum size")
+	ErrBadTag       = errors.New("transport: frame authentication failed")
+)
+
+// Conn is an established, authenticated, obfuscated connection. It is safe
+// for one concurrent reader and one concurrent writer.
+type Conn struct {
+	nc      net.Conn
+	variant Variant
+
+	enc cipher.Stream
+	dec cipher.Stream
+
+	macKey []byte
+
+	// sizes of the handshake messages as seen on the wire, in order. A
+	// DPI middlebox sees exactly this sequence.
+	handshakeSizes []int
+
+	readBuf []byte
+}
+
+// HandshakeTrace returns the wire sizes of the handshake messages this end
+// sent and received, in protocol order (request, created, confirmA,
+// confirmB). It is what a passive observer of the flow records.
+func (c *Conn) HandshakeTrace() []int {
+	return append([]int(nil), c.handshakeSizes...)
+}
+
+// Variant returns the framing variant in use.
+func (c *Conn) Variant() Variant { return c.variant }
+
+// LocalAddr returns the underlying local address.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// RemoteAddr returns the underlying remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// SetDeadline sets read and write deadlines on the underlying connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// WriteMessage sends one authenticated frame.
+func (c *Conn) WriteMessage(payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooBig
+	}
+	frame := make([]byte, 2+len(payload)+frameTagSize)
+	binary.BigEndian.PutUint16(frame[:2], uint16(len(payload)))
+	copy(frame[2:], payload)
+	mac := hmac.New(sha256.New, c.macKey)
+	mac.Write(frame[:2+len(payload)])
+	copy(frame[2+len(payload):], mac.Sum(nil)[:frameTagSize])
+	c.enc.XORKeyStream(frame, frame)
+	_, err := c.nc.Write(frame)
+	return err
+}
+
+// ReadMessage receives one authenticated frame.
+func (c *Conn) ReadMessage() ([]byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
+		return nil, err
+	}
+	c.dec.XORKeyStream(hdr[:], hdr[:])
+	n := int(binary.BigEndian.Uint16(hdr[:]))
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooBig
+	}
+	body := make([]byte, n+frameTagSize)
+	if _, err := io.ReadFull(c.nc, body); err != nil {
+		return nil, err
+	}
+	c.dec.XORKeyStream(body, body)
+	mac := hmac.New(sha256.New, c.macKey)
+	mac.Write(hdr[:])
+	mac.Write(body[:n])
+	if !hmac.Equal(mac.Sum(nil)[:frameTagSize], body[n:]) {
+		return nil, ErrBadTag
+	}
+	return body[:n], nil
+}
+
+// Dial connects to addr and performs the initiator side of the handshake.
+func Dial(network, addr string, cfg Config) (*Conn, error) {
+	nc, err := net.DialTimeout(network, addr, cfg.timeout())
+	if err != nil {
+		return nil, err
+	}
+	c, err := ClientHandshake(nc, cfg)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Listener accepts obfuscated connections.
+type Listener struct {
+	nl  net.Listener
+	cfg Config
+}
+
+// Listen starts a listener on addr.
+func Listen(network, addr string, cfg Config) (*Listener, error) {
+	nl, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{nl: nl, cfg: cfg}, nil
+}
+
+// Accept waits for a connection and performs the responder handshake.
+func (l *Listener) Accept() (*Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	c, err := ServerHandshake(nc, l.cfg)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Addr returns the listener's address.
+func (l *Listener) Addr() net.Addr { return l.nl.Addr() }
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.nl.Close() }
+
+// --- handshake ---
+
+// obfuscator derives a deterministic keystream from the router hash, used
+// to hide handshake structure from a passive observer who does not know
+// which router is being contacted.
+func obfuscator(routerHash [32]byte, label string) cipher.Stream {
+	key := sha256.Sum256(append(routerHash[:], label...))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic(err) // 32-byte key; cannot fail
+	}
+	iv := sha256.Sum256(append(routerHash[:], ("iv:" + label)...))
+	return cipher.NewCTR(block, iv[:aes.BlockSize])
+}
+
+// writeHandshakeMsg frames body into a handshake message. For classic NTCP
+// the wire size is exactly fixedSize; for NTCP2, body plus random padding.
+// The 2-byte body length and the body are obfuscated with the router-hash
+// keystream; padding is crypto/rand noise.
+func writeHandshakeMsg(w io.Writer, body []byte, fixedSize int, variant Variant, routerHash [32]byte, label string) (int, error) {
+	need := 2 + len(body)
+	var wire int
+	switch variant {
+	case VariantNTCP:
+		wire = fixedSize
+		if need > fixedSize {
+			return 0, fmt.Errorf("transport: handshake body %d exceeds fixed size %d", len(body), fixedSize)
+		}
+	case VariantNTCP2:
+		// The body already carries its padding (padBodyNTCP2); the wire
+		// message is exactly the framed body so the reader knows where
+		// the next message starts.
+		wire = need
+	default:
+		return 0, fmt.Errorf("transport: unknown variant %v", variant)
+	}
+	msg := make([]byte, wire)
+	binary.BigEndian.PutUint16(msg[:2], uint16(len(body)))
+	copy(msg[2:], body)
+	if _, err := rand.Read(msg[need:]); err != nil {
+		return 0, err
+	}
+	obfuscator(routerHash, label).XORKeyStream(msg[:need], msg[:need])
+	if _, err := w.Write(msg); err != nil {
+		return 0, err
+	}
+	return wire, nil
+}
+
+// readHandshakeMsg reads one handshake message written by writeHandshakeMsg.
+func readHandshakeMsg(r io.Reader, fixedSize int, variant Variant, routerHash [32]byte, label string) (body []byte, wire int, err error) {
+	stream := obfuscator(routerHash, label)
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	stream.XORKeyStream(hdr[:], hdr[:])
+	n := int(binary.BigEndian.Uint16(hdr[:]))
+	if n > 4096 {
+		return nil, 0, ErrBadHandshake
+	}
+	body = make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, 0, err
+	}
+	stream.XORKeyStream(body, body)
+	switch variant {
+	case VariantNTCP:
+		// Consume the fixed-size junk tail.
+		junk := fixedSize - 2 - n
+		if junk < 0 {
+			return nil, 0, ErrBadHandshake
+		}
+		if _, err := io.CopyN(io.Discard, r, int64(junk)); err != nil {
+			return nil, 0, err
+		}
+		return body, fixedSize, nil
+	case VariantNTCP2:
+		// NTCP2 receivers know the pad length from context in the real
+		// protocol; here the pad is only read lazily by the next message
+		// boundary, so we encode it in the first body byte region
+		// instead: the sender places pad length in... — see note below.
+		return body, 2 + n, nil
+	default:
+		return nil, 0, ErrBadHandshake
+	}
+}
+
+// Note on NTCP2 padding: writeHandshakeMsg appends pad bytes after the
+// body, but readHandshakeMsg must know how many to skip. We sidestep the
+// bookkeeping by making the pad part of the *body* for NTCP2: the helper
+// below wraps a body with its padding before writing.
+func padBodyNTCP2(body []byte) ([]byte, error) {
+	var padByte [1]byte
+	if _, err := rand.Read(padByte[:]); err != nil {
+		return nil, err
+	}
+	pad := ntcp2PadMin + int(padByte[0])%(ntcp2PadMax-ntcp2PadMin+1)
+	padded := make([]byte, 2+len(body)+pad)
+	binary.BigEndian.PutUint16(padded[:2], uint16(len(body)))
+	copy(padded[2:], body)
+	if _, err := rand.Read(padded[2+len(body):]); err != nil {
+		return nil, err
+	}
+	return padded, nil
+}
+
+func unpadBodyNTCP2(padded []byte) ([]byte, error) {
+	if len(padded) < 2 {
+		return nil, ErrBadHandshake
+	}
+	n := int(binary.BigEndian.Uint16(padded[:2]))
+	if 2+n > len(padded) {
+		return nil, ErrBadHandshake
+	}
+	return padded[2 : 2+n], nil
+}
+
+// sendMsg writes one handshake message, dispatching on variant. It returns
+// the wire size.
+func sendMsg(w io.Writer, body []byte, fixedSize int, cfg Config, label string) (int, error) {
+	if cfg.Variant == VariantNTCP2 {
+		padded, err := padBodyNTCP2(body)
+		if err != nil {
+			return 0, err
+		}
+		return writeHandshakeMsg(w, padded, 0, VariantNTCP2, cfg.RouterHash, label)
+	}
+	return writeHandshakeMsg(w, body, fixedSize, VariantNTCP, cfg.RouterHash, label)
+}
+
+// recvMsg reads one handshake message, dispatching on variant.
+func recvMsg(r io.Reader, fixedSize int, cfg Config, label string) ([]byte, int, error) {
+	body, wire, err := readHandshakeMsg(r, fixedSize, cfg.Variant, cfg.RouterHash, label)
+	if err != nil {
+		return nil, 0, err
+	}
+	if cfg.Variant == VariantNTCP2 {
+		inner, err := unpadBodyNTCP2(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		return inner, wire, nil
+	}
+	return body, wire, nil
+}
+
+// deriveKeys expands the ECDH shared secret into directional cipher streams
+// and a MAC key. Directions are fixed from the initiator's perspective.
+func deriveKeys(secret []byte, initiator bool) (enc, dec cipher.Stream, macKey []byte) {
+	kI := sha256.Sum256(append(secret, "i2pstudy-init"...))
+	kR := sha256.Sum256(append(secret, "i2pstudy-resp"...))
+	mk := sha256.Sum256(append(secret, "i2pstudy-mac"...))
+	ivI := sha256.Sum256(append(secret, "iv-init"...))
+	ivR := sha256.Sum256(append(secret, "iv-resp"...))
+	mkStream := func(key, iv [32]byte) cipher.Stream {
+		block, err := aes.NewCipher(key[:])
+		if err != nil {
+			panic(err)
+		}
+		return cipher.NewCTR(block, iv[:aes.BlockSize])
+	}
+	if initiator {
+		return mkStream(kI, ivI), mkStream(kR, ivR), mk[:]
+	}
+	return mkStream(kR, ivR), mkStream(kI, ivI), mk[:]
+}
+
+// ClientHandshake runs the initiator side over an established net.Conn.
+func ClientHandshake(nc net.Conn, cfg Config) (*Conn, error) {
+	deadline := time.Now().Add(cfg.timeout())
+	if err := nc.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	defer nc.SetDeadline(time.Time{})
+
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	var sizes []int
+
+	// Message 1: SessionRequest — client ephemeral public key.
+	n, err := sendMsg(nc, priv.PublicKey().Bytes(), SessionRequestSize, cfg, "msg1")
+	if err != nil {
+		return nil, err
+	}
+	sizes = append(sizes, n)
+
+	// Message 2: SessionCreated — server ephemeral public key.
+	body, n, err := recvMsg(nc, SessionCreatedSize, cfg, "msg2")
+	if err != nil {
+		return nil, err
+	}
+	sizes = append(sizes, n)
+	serverPub, err := ecdh.X25519().NewPublicKey(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad server key", ErrBadHandshake)
+	}
+	secret, err := priv.ECDH(serverPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+	}
+
+	// Message 3: SessionConfirmA — prove knowledge of the shared secret
+	// bound to the responder's router hash.
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(cfg.RouterHash[:])
+	mac.Write([]byte("confirm-a"))
+	n, err = sendMsg(nc, mac.Sum(nil), SessionConfirmASize, cfg, "msg3")
+	if err != nil {
+		return nil, err
+	}
+	sizes = append(sizes, n)
+
+	// Message 4: SessionConfirmB — server's confirmation.
+	body, n, err = recvMsg(nc, SessionConfirmBSize, cfg, "msg4")
+	if err != nil {
+		return nil, err
+	}
+	sizes = append(sizes, n)
+	mac = hmac.New(sha256.New, secret)
+	mac.Write(cfg.RouterHash[:])
+	mac.Write([]byte("confirm-b"))
+	if !hmac.Equal(body, mac.Sum(nil)) {
+		return nil, fmt.Errorf("%w: server confirmation mismatch", ErrBadHandshake)
+	}
+
+	enc, dec, mk := deriveKeys(secret, true)
+	return &Conn{nc: nc, variant: cfg.Variant, enc: enc, dec: dec, macKey: mk, handshakeSizes: sizes}, nil
+}
+
+// ServerHandshake runs the responder side over an established net.Conn.
+func ServerHandshake(nc net.Conn, cfg Config) (*Conn, error) {
+	deadline := time.Now().Add(cfg.timeout())
+	if err := nc.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	defer nc.SetDeadline(time.Time{})
+
+	var sizes []int
+	body, n, err := recvMsg(nc, SessionRequestSize, cfg, "msg1")
+	if err != nil {
+		return nil, err
+	}
+	sizes = append(sizes, n)
+	clientPub, err := ecdh.X25519().NewPublicKey(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad client key", ErrBadHandshake)
+	}
+
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	n, err = sendMsg(nc, priv.PublicKey().Bytes(), SessionCreatedSize, cfg, "msg2")
+	if err != nil {
+		return nil, err
+	}
+	sizes = append(sizes, n)
+
+	secret, err := priv.ECDH(clientPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+	}
+
+	body, n, err = recvMsg(nc, SessionConfirmASize, cfg, "msg3")
+	if err != nil {
+		return nil, err
+	}
+	sizes = append(sizes, n)
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(cfg.RouterHash[:])
+	mac.Write([]byte("confirm-a"))
+	if !hmac.Equal(body, mac.Sum(nil)) {
+		return nil, fmt.Errorf("%w: client confirmation mismatch", ErrBadHandshake)
+	}
+
+	mac = hmac.New(sha256.New, secret)
+	mac.Write(cfg.RouterHash[:])
+	mac.Write([]byte("confirm-b"))
+	n, err = sendMsg(nc, mac.Sum(nil), SessionConfirmBSize, cfg, "msg4")
+	if err != nil {
+		return nil, err
+	}
+	sizes = append(sizes, n)
+
+	enc, dec, mk := deriveKeys(secret, false)
+	return &Conn{nc: nc, variant: cfg.Variant, enc: enc, dec: dec, macKey: mk, handshakeSizes: sizes}, nil
+}

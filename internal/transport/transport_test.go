@@ -1,0 +1,308 @@
+package transport
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testRouterHash() [32]byte {
+	return sha256.Sum256([]byte("responder identity"))
+}
+
+// connPair establishes a client/server Conn pair over loopback TCP.
+func connPair(t *testing.T, variant Variant) (client, server *Conn) {
+	t.Helper()
+	cfg := Config{Variant: variant, RouterHash: testRouterHash(), HandshakeTimeout: 5 * time.Second}
+	l, err := Listen("tcp", "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+
+	var wg sync.WaitGroup
+	var srvErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		server, srvErr = l.Accept()
+	}()
+	client, err = Dial("tcp", l.Addr().String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	for _, variant := range []Variant{VariantNTCP, VariantNTCP2} {
+		t.Run(variant.String(), func(t *testing.T) {
+			client, server := connPair(t, variant)
+			msgs := [][]byte{
+				[]byte("hello"),
+				{},
+				bytes.Repeat([]byte{0xAB}, 1000),
+				bytes.Repeat([]byte("garlic"), 5000),
+			}
+			for _, want := range msgs {
+				if err := client.WriteMessage(want); err != nil {
+					t.Fatalf("write: %v", err)
+				}
+				got, err := server.ReadMessage()
+				if err != nil {
+					t.Fatalf("read: %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("message corrupted: got %d bytes want %d", len(got), len(want))
+				}
+				// And the reverse direction.
+				if err := server.WriteMessage(want); err != nil {
+					t.Fatalf("server write: %v", err)
+				}
+				got, err = client.ReadMessage()
+				if err != nil {
+					t.Fatalf("client read: %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatal("reverse message corrupted")
+				}
+			}
+		})
+	}
+}
+
+func TestNTCPHandshakeSizesAreFixed(t *testing.T) {
+	client, server := connPair(t, VariantNTCP)
+	want := NTCPSignature()
+	for _, c := range []*Conn{client, server} {
+		got := c.HandshakeTrace()
+		if len(got) != 4 {
+			t.Fatalf("trace length = %d, want 4", len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("handshake message %d size = %d, want %d", i+1, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNTCP2HandshakeSizesVary(t *testing.T) {
+	// Across several connections, NTCP2 must not always produce the
+	// classic signature. (Any single run could coincide by chance with
+	// probability ~(1/65)^4, so ten runs make a flaky pass impossible in
+	// practice.)
+	matches := 0
+	traces := make(map[[4]int]bool)
+	for i := 0; i < 10; i++ {
+		client, _ := connPair(t, VariantNTCP2)
+		got := client.HandshakeTrace()
+		if ClassifyFlow(got) == ProtocolI2PNTCP {
+			matches++
+		}
+		var key [4]int
+		copy(key[:], got)
+		traces[key] = true
+	}
+	if matches == 10 {
+		t.Fatal("all NTCP2 handshakes matched the NTCP signature")
+	}
+	if len(traces) < 2 {
+		t.Fatal("NTCP2 handshake sizes never varied")
+	}
+}
+
+func TestDPIClassifier(t *testing.T) {
+	if got := ClassifyFlow([]int{288, 304, 448, 48}); got != ProtocolI2PNTCP {
+		t.Fatalf("exact signature = %v, want i2p-ntcp", got)
+	}
+	if got := ClassifyFlow([]int{288, 304, 448, 48, 512, 1024}); got != ProtocolI2PNTCP {
+		t.Fatal("longer flow with matching prefix should classify")
+	}
+	for _, sizes := range [][]int{
+		nil,
+		{288},
+		{288, 304, 448},
+		{289, 304, 448, 48},
+		{288, 304, 449, 48},
+		{1500, 1500, 1500, 1500},
+	} {
+		if got := ClassifyFlow(sizes); got != ProtocolUnknown {
+			t.Errorf("ClassifyFlow(%v) = %v, want unknown", sizes, got)
+		}
+	}
+}
+
+func TestMiddleboxCounters(t *testing.T) {
+	var mb Middlebox
+	mb.Observe([]int{288, 304, 448, 48})
+	mb.Observe([]int{100, 200})
+	mb.Observe([]int{288, 304, 448, 48})
+	if mb.Flows() != 3 || mb.Detected() != 2 {
+		t.Fatalf("flows=%d detected=%d", mb.Flows(), mb.Detected())
+	}
+	if got := mb.DetectionRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("rate = %v", got)
+	}
+	var empty Middlebox
+	if empty.DetectionRate() != 0 {
+		t.Fatal("empty middlebox rate should be 0")
+	}
+}
+
+// TestDPIDetectsNTCPButNotNTCP2 is the paper's Section 2.2.2 experiment in
+// miniature: classic NTCP flows are all fingerprinted; NTCP2 flows are not.
+func TestDPIDetectsNTCPButNotNTCP2(t *testing.T) {
+	var mb Middlebox
+	for i := 0; i < 5; i++ {
+		client, _ := connPair(t, VariantNTCP)
+		mb.Observe(client.HandshakeTrace())
+	}
+	if mb.DetectionRate() != 1 {
+		t.Fatalf("NTCP detection rate = %v, want 1", mb.DetectionRate())
+	}
+	var mb2 Middlebox
+	for i := 0; i < 5; i++ {
+		client, _ := connPair(t, VariantNTCP2)
+		mb2.Observe(client.HandshakeTrace())
+	}
+	if mb2.DetectionRate() > 0.4 {
+		t.Fatalf("NTCP2 detection rate = %v, want near 0", mb2.DetectionRate())
+	}
+}
+
+func TestHandshakeFailsWithWrongRouterHash(t *testing.T) {
+	good := Config{Variant: VariantNTCP, RouterHash: testRouterHash(), HandshakeTimeout: 2 * time.Second}
+	bad := good
+	bad.RouterHash = sha256.Sum256([]byte("a different router"))
+
+	l, err := Listen("tcp", "127.0.0.1:0", good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	// A client that thinks it is talking to a different router derives a
+	// different obfuscation keystream; the handshake must fail rather than
+	// silently connecting to the wrong peer.
+	c, err := Dial("tcp", l.Addr().String(), bad)
+	if err == nil {
+		c.Close()
+		t.Fatal("handshake with mismatched router hash succeeded")
+	}
+	<-done
+}
+
+func TestFrameTamperingDetected(t *testing.T) {
+	// A man-in-the-middle flipping ciphertext bits must trip the frame MAC.
+	cfg := Config{Variant: VariantNTCP, RouterHash: testRouterHash(), HandshakeTimeout: 5 * time.Second}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	type result struct {
+		err error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		nc, err := l.Accept()
+		if err != nil {
+			resCh <- result{err}
+			return
+		}
+		defer nc.Close()
+		sc, err := ServerHandshake(nc, cfg)
+		if err != nil {
+			resCh <- result{err}
+			return
+		}
+		_, err = sc.ReadMessage()
+		resCh <- result{err}
+	}()
+
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	tamper := &tamperConn{Conn: nc}
+	cc, err := ClientHandshake(tamper, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper.active = true // flip bits on everything after the handshake
+	if err := cc.WriteMessage([]byte("authentic message")); err != nil {
+		t.Fatal(err)
+	}
+	res := <-resCh
+	if res.err == nil {
+		t.Fatal("tampered frame accepted")
+	}
+}
+
+// tamperConn flips one bit of every write once activated.
+type tamperConn struct {
+	net.Conn
+	active bool
+}
+
+func (c *tamperConn) Write(p []byte) (int, error) {
+	if c.active && len(p) > 4 {
+		q := append([]byte(nil), p...)
+		q[3] ^= 0x01
+		return c.Conn.Write(q)
+	}
+	return c.Conn.Write(p)
+}
+
+func TestWriteMessageTooBig(t *testing.T) {
+	client, _ := connPair(t, VariantNTCP)
+	if err := client.WriteMessage(make([]byte, MaxFrameSize+1)); err != ErrFrameTooBig {
+		t.Fatalf("err = %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestConnAccessors(t *testing.T) {
+	client, server := connPair(t, VariantNTCP2)
+	if client.Variant() != VariantNTCP2 {
+		t.Fatal("variant accessor wrong")
+	}
+	if client.LocalAddr() == nil || client.RemoteAddr() == nil {
+		t.Fatal("addresses missing")
+	}
+	if server.LocalAddr().String() != client.RemoteAddr().String() {
+		t.Fatal("address mismatch between ends")
+	}
+	if err := client.SetDeadline(time.Now().Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	if VariantNTCP.String() != "NTCP" || VariantNTCP2.String() != "NTCP2" {
+		t.Fatal("variant strings wrong")
+	}
+	if Variant(9).String() == "" {
+		t.Fatal("unknown variant must format")
+	}
+	if ProtocolI2PNTCP.String() != "i2p-ntcp" || ProtocolUnknown.String() != "unknown" {
+		t.Fatal("protocol strings wrong")
+	}
+}

@@ -1,0 +1,203 @@
+package tunnel
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+)
+
+// This file implements the tunnel build handshake: the creator sends one
+// encrypted BuildRecord per hop; each hop can open only its own record,
+// learning its receive tunnel ID and the next hop — and nothing about its
+// position or the other participants. That anonymity property is why the
+// paper's censor must rely on *address* blocking rather than tunnel-level
+// interdiction.
+
+// BuildRecord is one hop's instructions, readable only by that hop.
+type BuildRecord struct {
+	// Hop identifies the intended reader.
+	Hop netdb.Hash
+	// ReceiveTunnelID is the ID the hop listens on for this tunnel.
+	ReceiveTunnelID uint32
+	// NextHop is where to forward messages (zero hash for the endpoint of
+	// an outbound tunnel / the owner for an inbound one).
+	NextHop netdb.Hash
+	// NextTunnelID is the ID at the next hop.
+	NextTunnelID uint32
+}
+
+// BuildRequest carries the encrypted records for every hop. Records are
+// fixed-size and shuffled-equivalent (hop order is not derivable from
+// position alone in real I2P; here order matches hops, but opacity is
+// preserved by encryption).
+type BuildRequest struct {
+	TunnelID uint32
+	Records  [][]byte
+}
+
+// recordPlainSize is the fixed plaintext size of one build record.
+const recordPlainSize = netdb.HashSize*2 + 4 + 4
+
+// Build message errors.
+var (
+	ErrNotYourRecord = errors.New("tunnel: no build record for this hop")
+	ErrBadRecord     = errors.New("tunnel: malformed build record")
+)
+
+// recordKey derives the per-hop record encryption key. Real I2P uses the
+// hop's ElGamal public key; the deterministic derivation keeps the
+// simulation self-contained while preserving the "only this hop can read
+// it" structure.
+func recordKey(hop netdb.Hash, tunnelID uint32) ([]byte, []byte) {
+	var id [4]byte
+	binary.BigEndian.PutUint32(id[:], tunnelID)
+	k := sha256.Sum256(append(append([]byte("build-key:"), hop[:]...), id[:]...))
+	iv := sha256.Sum256(append(append([]byte("build-iv:"), hop[:]...), id[:]...))
+	return k[:], iv[:aes.BlockSize]
+}
+
+func recordStream(hop netdb.Hash, tunnelID uint32) cipher.Stream {
+	key, iv := recordKey(hop, tunnelID)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		panic(err) // 32-byte key; cannot fail
+	}
+	return cipher.NewCTR(block, iv)
+}
+
+// checksum is the integrity tag inside each record (first 8 bytes of
+// SHA-256 over the plaintext).
+func recordChecksum(plain []byte) [8]byte {
+	sum := sha256.Sum256(plain)
+	var out [8]byte
+	copy(out[:], sum[:8])
+	return out
+}
+
+// NewBuildRequest assembles the encrypted per-hop records for a tunnel.
+// Hop i receives: its tunnel ID (TunnelID+i), the next hop's hash, and
+// the next tunnel ID; the final hop's next-hop is owner-or-zero depending
+// on direction, supplied by the caller as terminal.
+func NewBuildRequest(t *Tunnel, terminal netdb.Hash) (*BuildRequest, error) {
+	if len(t.Hops) == 0 {
+		return nil, fmt.Errorf("tunnel: cannot build an empty tunnel")
+	}
+	req := &BuildRequest{TunnelID: t.ID}
+	for i, hop := range t.Hops {
+		rec := BuildRecord{
+			Hop:             hop,
+			ReceiveTunnelID: t.ID + uint32(i),
+		}
+		if i+1 < len(t.Hops) {
+			rec.NextHop = t.Hops[i+1]
+			rec.NextTunnelID = t.ID + uint32(i+1)
+		} else {
+			rec.NextHop = terminal
+			rec.NextTunnelID = t.ID + uint32(i+1)
+		}
+		plain := make([]byte, 0, recordPlainSize)
+		plain = append(plain, rec.Hop[:]...)
+		plain = append(plain, rec.NextHop[:]...)
+		var ids [8]byte
+		binary.BigEndian.PutUint32(ids[:4], rec.ReceiveTunnelID)
+		binary.BigEndian.PutUint32(ids[4:], rec.NextTunnelID)
+		plain = append(plain, ids[:]...)
+
+		sum := recordChecksum(plain)
+		payload := append(plain, sum[:]...)
+		recordStream(hop, t.ID).XORKeyStream(payload, payload)
+		req.Records = append(req.Records, payload)
+	}
+	return req, nil
+}
+
+// OpenRecord lets hop `hop` find and decrypt its record. Other hops'
+// records remain opaque; a hop cannot even tell which record belongs to
+// whom (decryption with the wrong key fails the checksum).
+func (r *BuildRequest) OpenRecord(hop netdb.Hash) (*BuildRecord, error) {
+	for _, enc := range r.Records {
+		if len(enc) != recordPlainSize+8 {
+			return nil, ErrBadRecord
+		}
+		plain := make([]byte, len(enc))
+		copy(plain, enc)
+		recordStream(hop, r.TunnelID).XORKeyStream(plain, plain)
+		body, tag := plain[:recordPlainSize], plain[recordPlainSize:]
+		sum := recordChecksum(body)
+		if !bytes.Equal(sum[:], tag) {
+			continue // not this hop's record
+		}
+		var rec BuildRecord
+		copy(rec.Hop[:], body[:netdb.HashSize])
+		copy(rec.NextHop[:], body[netdb.HashSize:2*netdb.HashSize])
+		rec.ReceiveTunnelID = binary.BigEndian.Uint32(body[2*netdb.HashSize:])
+		rec.NextTunnelID = binary.BigEndian.Uint32(body[2*netdb.HashSize+4:])
+		if rec.Hop != hop {
+			return nil, ErrBadRecord
+		}
+		return &rec, nil
+	}
+	return nil, ErrNotYourRecord
+}
+
+// BuildReply aggregates each hop's accept/reject decision. Hops append
+// their verdict encrypted with their record key; the creator opens all.
+type BuildReply struct {
+	TunnelID uint32
+	// verdicts[i] corresponds to Records[i] of the request.
+	Verdicts [][]byte
+}
+
+// NewBuildReply initializes an empty reply for a request.
+func NewBuildReply(req *BuildRequest) *BuildReply {
+	return &BuildReply{TunnelID: req.TunnelID, Verdicts: make([][]byte, len(req.Records))}
+}
+
+// verdict bytes.
+const (
+	verdictAccept = 0x01
+	verdictReject = 0xFF
+)
+
+// Respond records hop i's decision.
+func (r *BuildReply) Respond(i int, hop netdb.Hash, accept bool) error {
+	if i < 0 || i >= len(r.Verdicts) {
+		return fmt.Errorf("tunnel: verdict index %d out of range", i)
+	}
+	v := []byte{verdictReject}
+	if accept {
+		v[0] = verdictAccept
+	}
+	recordStream(hop, r.TunnelID+1<<16).XORKeyStream(v, v)
+	r.Verdicts[i] = v
+	return nil
+}
+
+// Accepted reports whether every hop accepted. The creator knows the hop
+// order, so it can decrypt each verdict.
+func (r *BuildReply) Accepted(hops []netdb.Hash) (bool, error) {
+	if len(hops) != len(r.Verdicts) {
+		return false, fmt.Errorf("tunnel: %d hops vs %d verdicts", len(hops), len(r.Verdicts))
+	}
+	for i, v := range r.Verdicts {
+		if len(v) != 1 {
+			return false, fmt.Errorf("tunnel: hop %d did not respond", i)
+		}
+		plain := []byte{v[0]}
+		recordStream(hops[i], r.TunnelID+1<<16).XORKeyStream(plain, plain)
+		switch plain[0] {
+		case verdictAccept:
+		case verdictReject:
+			return false, nil
+		default:
+			return false, fmt.Errorf("tunnel: hop %d verdict corrupted", i)
+		}
+	}
+	return true, nil
+}

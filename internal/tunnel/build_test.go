@@ -1,0 +1,169 @@
+package tunnel
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+)
+
+func buildTestTunnel() *Tunnel {
+	return &Tunnel{
+		ID: 1000,
+		Hops: []netdb.Hash{
+			netdb.HashFromUint64(1),
+			netdb.HashFromUint64(2),
+			netdb.HashFromUint64(3),
+		},
+	}
+}
+
+func TestBuildRequestEachHopOpensOwnRecord(t *testing.T) {
+	tn := buildTestTunnel()
+	owner := netdb.HashFromUint64(99)
+	req, err := NewBuildRequest(tn, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Records) != 3 {
+		t.Fatalf("records = %d", len(req.Records))
+	}
+	for i, hop := range tn.Hops {
+		rec, err := req.OpenRecord(hop)
+		if err != nil {
+			t.Fatalf("hop %d: %v", i, err)
+		}
+		if rec.Hop != hop {
+			t.Fatalf("hop %d: record addressed to %s", i, rec.Hop.Short())
+		}
+		if rec.ReceiveTunnelID != tn.ID+uint32(i) {
+			t.Fatalf("hop %d: receive ID %d", i, rec.ReceiveTunnelID)
+		}
+		if i+1 < len(tn.Hops) {
+			if rec.NextHop != tn.Hops[i+1] {
+				t.Fatalf("hop %d: wrong next hop", i)
+			}
+		} else if rec.NextHop != owner {
+			t.Fatal("endpoint record must point at the terminal")
+		}
+	}
+}
+
+func TestBuildRequestStrangerCannotOpen(t *testing.T) {
+	tn := buildTestTunnel()
+	req, err := NewBuildRequest(tn, netdb.HashFromUint64(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := req.OpenRecord(netdb.HashFromUint64(7777)); !errors.Is(err, ErrNotYourRecord) {
+		t.Fatalf("stranger opened a record: %v", err)
+	}
+}
+
+// TestBuildRecordsOpaque: a hop cannot learn anything about other hops —
+// their hashes never appear in records it cannot decrypt.
+func TestBuildRecordsOpaque(t *testing.T) {
+	tn := buildTestTunnel()
+	req, err := NewBuildRequest(tn, netdb.HashFromUint64(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ciphertexts must not contain any hop hash in the clear.
+	for i, enc := range req.Records {
+		for j, hop := range tn.Hops {
+			if containsSubslice(enc, hop[:]) {
+				t.Fatalf("record %d leaks hop %d hash in cleartext", i, j)
+			}
+		}
+	}
+}
+
+func containsSubslice(haystack, needle []byte) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		match := true
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBuildReplyAllAccept(t *testing.T) {
+	tn := buildTestTunnel()
+	req, err := NewBuildRequest(tn, netdb.HashFromUint64(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := NewBuildReply(req)
+	for i, hop := range tn.Hops {
+		if err := reply.Respond(i, hop, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := reply.Accepted(tn.Hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("all-accept reply reported rejection")
+	}
+}
+
+func TestBuildReplyRejection(t *testing.T) {
+	tn := buildTestTunnel()
+	req, err := NewBuildRequest(tn, netdb.HashFromUint64(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := NewBuildReply(req)
+	reply.Respond(0, tn.Hops[0], true)
+	reply.Respond(1, tn.Hops[1], false) // hop 1 refuses
+	reply.Respond(2, tn.Hops[2], true)
+	ok, err := reply.Accepted(tn.Hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("rejection not detected")
+	}
+}
+
+func TestBuildReplyErrors(t *testing.T) {
+	tn := buildTestTunnel()
+	req, err := NewBuildRequest(tn, netdb.HashFromUint64(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := NewBuildReply(req)
+	if err := reply.Respond(9, tn.Hops[0], true); err == nil {
+		t.Fatal("out-of-range verdict accepted")
+	}
+	// Missing verdicts must error.
+	if _, err := reply.Accepted(tn.Hops); err == nil {
+		t.Fatal("incomplete reply accepted")
+	}
+	// Wrong hop list length.
+	for i, hop := range tn.Hops {
+		reply.Respond(i, hop, true)
+	}
+	if _, err := reply.Accepted(tn.Hops[:2]); err == nil {
+		t.Fatal("hop/verdict mismatch accepted")
+	}
+	// A verdict decrypted with the wrong hop key is corrupted.
+	wrongHops := []netdb.Hash{tn.Hops[1], tn.Hops[0], tn.Hops[2]}
+	if _, err := reply.Accepted(wrongHops); err == nil {
+		t.Fatal("swapped hops not detected")
+	}
+}
+
+func TestNewBuildRequestEmpty(t *testing.T) {
+	if _, err := NewBuildRequest(&Tunnel{ID: 1}, netdb.Hash{}); err == nil {
+		t.Fatal("empty tunnel accepted")
+	}
+}

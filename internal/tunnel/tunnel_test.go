@@ -1,0 +1,345 @@
+package tunnel
+
+import (
+	"errors"
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewPCG(11, 7)) }
+
+func makeRI(id uint64, rateKBps int, reachable bool) *netdb.RouterInfo {
+	ri := &netdb.RouterInfo{
+		Identity:  netdb.HashFromUint64(id),
+		Published: time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC),
+		Caps:      netdb.NewCaps(rateKBps, false, reachable),
+		Version:   "0.9.34",
+	}
+	if reachable {
+		ri.Addresses = []netdb.RouterAddress{{
+			Transport: netdb.TransportNTCP,
+			Addr:      netip.AddrFrom4([4]byte{10, byte(id >> 8), byte(id), 1}),
+			Port:      12345,
+		}}
+	}
+	return ri
+}
+
+func candidateSet(n int) []*netdb.RouterInfo {
+	out := make([]*netdb.RouterInfo, 0, n)
+	for i := 1; i <= n; i++ {
+		rate := []int{20, 100, 300, 3000}[i%4]
+		out = append(out, makeRI(uint64(i), rate, true))
+	}
+	return out
+}
+
+func TestSelectorEligibility(t *testing.T) {
+	sel := DefaultSelector()
+	if sel.Eligible(nil) {
+		t.Fatal("nil record eligible")
+	}
+	if sel.Eligible(makeRI(1, 20, true)) {
+		t.Fatal("L-class peer must be excluded by default policy")
+	}
+	if !sel.Eligible(makeRI(2, 100, true)) {
+		t.Fatal("N-class reachable peer must be eligible")
+	}
+	if sel.Eligible(makeRI(3, 100, false)) {
+		t.Fatal("unreachable peer eligible under default policy")
+	}
+	hidden := makeRI(4, 100, true)
+	hidden.Caps.Hidden = true
+	if sel.Eligible(hidden) {
+		t.Fatal("hidden peer must never route")
+	}
+	firewalled := makeRI(5, 100, true)
+	firewalled.Addresses = []netdb.RouterAddress{{
+		Transport:   netdb.TransportSSU,
+		Introducers: []netdb.Introducer{{Hash: netdb.HashFromUint64(9), Addr: netip.MustParseAddr("198.51.100.1"), Port: 9000}},
+	}}
+	if sel.Eligible(firewalled) {
+		t.Fatal("firewalled peer must not be selected as a hop")
+	}
+
+	loose := Selector{MinClass: netdb.ClassK, AllowUnreachable: true}
+	if !loose.Eligible(makeRI(6, 20, true)) {
+		t.Fatal("loose policy should accept L peers")
+	}
+}
+
+func TestSelectHopsDistinctAndExcluded(t *testing.T) {
+	sel := DefaultSelector()
+	rng := testRNG()
+	cands := candidateSet(40)
+	exclude := map[netdb.Hash]bool{cands[1].Identity: true}
+	for trial := 0; trial < 50; trial++ {
+		hops, err := sel.SelectHops(cands, 3, exclude, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hops) != 3 {
+			t.Fatalf("got %d hops", len(hops))
+		}
+		seen := make(map[netdb.Hash]bool)
+		for _, h := range hops {
+			if seen[h] {
+				t.Fatal("duplicate hop selected")
+			}
+			if exclude[h] {
+				t.Fatal("excluded hop selected")
+			}
+			seen[h] = true
+		}
+	}
+}
+
+func TestSelectHopsPrefersHighBandwidth(t *testing.T) {
+	sel := DefaultSelector()
+	rng := testRNG()
+	cands := candidateSet(40)
+	classCount := make(map[netdb.BandwidthClass]int)
+	for trial := 0; trial < 2000; trial++ {
+		hops, err := sel.SelectHops(cands, 1, nil, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cands {
+			if c.Identity == hops[0] {
+				classCount[c.Caps.Class]++
+			}
+		}
+	}
+	if classCount[netdb.ClassX] <= classCount[netdb.ClassN] {
+		t.Fatalf("X peers (%d) must be selected more than N peers (%d)",
+			classCount[netdb.ClassX], classCount[netdb.ClassN])
+	}
+}
+
+func TestSelectHopsErrors(t *testing.T) {
+	sel := DefaultSelector()
+	rng := testRNG()
+	if _, err := sel.SelectHops(candidateSet(2), 5, nil, rng); !errors.Is(err, ErrNotEnoughPeers) {
+		t.Fatalf("want ErrNotEnoughPeers, got %v", err)
+	}
+	if _, err := sel.SelectHops(candidateSet(10), 0, nil, rng); err == nil {
+		t.Fatal("hop count 0 accepted")
+	}
+	if _, err := sel.SelectHops(candidateSet(10), MaxHops+1, nil, rng); err == nil {
+		t.Fatal("hop count beyond MaxHops accepted")
+	}
+}
+
+func TestBuilderSuccess(t *testing.T) {
+	b := &Builder{}
+	now := time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+	hops := []netdb.Hash{netdb.HashFromUint64(1), netdb.HashFromUint64(2)}
+	res := b.Build(netdb.HashFromUint64(99), Outbound, hops, now)
+	if !res.OK {
+		t.Fatal("build failed with no blocker")
+	}
+	tn := res.Tunnel
+	if tn.Gateway() != hops[0] || tn.Endpoint() != hops[1] {
+		t.Fatal("gateway/endpoint wrong")
+	}
+	if !tn.Live(now.Add(9 * time.Minute)) {
+		t.Fatal("tunnel must live for ten minutes")
+	}
+	if tn.Live(now.Add(11 * time.Minute)) {
+		t.Fatal("tunnel must expire after ten minutes")
+	}
+	if !tn.Contains(hops[0]) || tn.Contains(netdb.HashFromUint64(77)) {
+		t.Fatal("Contains wrong")
+	}
+	if res.Elapsed != 500*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 500ms (2 hops x 250ms)", res.Elapsed)
+	}
+}
+
+func TestBuilderBlockedHop(t *testing.T) {
+	blocked := netdb.HashFromUint64(2)
+	b := &Builder{
+		Reachable: func(h netdb.Hash) bool { return h != blocked },
+		Timeout:   3 * time.Second,
+	}
+	now := time.Now()
+	hops := []netdb.Hash{netdb.HashFromUint64(1), blocked, netdb.HashFromUint64(3)}
+	res := b.Build(netdb.HashFromUint64(99), Inbound, hops, now)
+	if res.OK {
+		t.Fatal("build through blocked hop succeeded")
+	}
+	if res.FailedHop != 1 {
+		t.Fatalf("failed hop = %d, want 1", res.FailedHop)
+	}
+	// Elapsed: hop 0 RTT (250ms) + timeout at hop 1 (3s).
+	if res.Elapsed != 250*time.Millisecond+3*time.Second {
+		t.Fatalf("elapsed = %v", res.Elapsed)
+	}
+}
+
+func TestEmptyTunnelAccessors(t *testing.T) {
+	tn := &Tunnel{}
+	if !tn.Gateway().IsZero() || !tn.Endpoint().IsZero() {
+		t.Fatal("empty tunnel must have zero gateway/endpoint")
+	}
+}
+
+func TestPoolMaintain(t *testing.T) {
+	rng := testRNG()
+	owner := netdb.HashFromUint64(999)
+	b := &Builder{}
+	p := NewPool(owner, DefaultSelector(), b, 0)
+	if p.HopCount != DefaultHops {
+		t.Fatalf("default hop count = %d, want %d", p.HopCount, DefaultHops)
+	}
+	cands := candidateSet(30)
+	now := time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := p.Maintain(cands, now, rng); err != nil {
+		t.Fatal(err)
+	}
+	in1, out1 := p.Tunnels()
+	if in1 == nil || out1 == nil {
+		t.Fatal("tunnels missing after Maintain")
+	}
+	if in1.Direction != Inbound || out1.Direction != Outbound {
+		t.Fatal("directions wrong")
+	}
+	for _, tn := range []*Tunnel{in1, out1} {
+		if tn.Contains(owner) {
+			t.Fatal("owner selected as its own hop")
+		}
+	}
+	// Maintain again within the lifetime: tunnels must be reused.
+	if _, err := p.Maintain(cands, now.Add(5*time.Minute), rng); err != nil {
+		t.Fatal(err)
+	}
+	in2, out2 := p.Tunnels()
+	if in2 != in1 || out2 != out1 {
+		t.Fatal("live tunnels rebuilt prematurely")
+	}
+	// After expiry they must be replaced.
+	if _, err := p.Maintain(cands, now.Add(11*time.Minute), rng); err != nil {
+		t.Fatal(err)
+	}
+	in3, out3 := p.Tunnels()
+	if in3 == in1 || out3 == out1 {
+		t.Fatal("expired tunnels not rebuilt")
+	}
+}
+
+func TestPoolMaintainFailsWhenBlocked(t *testing.T) {
+	rng := testRNG()
+	b := &Builder{Reachable: func(netdb.Hash) bool { return false }, Timeout: time.Second}
+	p := NewPool(netdb.HashFromUint64(999), DefaultSelector(), b, 2)
+	_, err := p.Maintain(candidateSet(30), time.Now(), rng)
+	if !errors.Is(err, ErrBuildFailed) {
+		t.Fatalf("want ErrBuildFailed, got %v", err)
+	}
+}
+
+func TestGarlicRoundTrip(t *testing.T) {
+	g := &GarlicMessage{Cloves: []Clove{
+		{Kind: DeliverLocal, Payload: []byte("status")},
+		{Kind: DeliverDestination, To: netdb.HashFromUint64(5), Payload: []byte("http request")},
+		{Kind: DeliverRouter, To: netdb.HashFromUint64(6), Payload: nil},
+	}}
+	data, err := g.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeGarlic(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cloves) != 3 {
+		t.Fatalf("cloves = %d", len(got.Cloves))
+	}
+	if string(got.Cloves[1].Payload) != "http request" || got.Cloves[1].To != netdb.HashFromUint64(5) {
+		t.Fatal("clove 1 corrupted")
+	}
+	if got.Cloves[2].Payload != nil && len(got.Cloves[2].Payload) != 0 {
+		t.Fatal("empty payload corrupted")
+	}
+}
+
+func TestGarlicDecodeErrors(t *testing.T) {
+	for _, data := range [][]byte{nil, []byte("GAR"), []byte("XXX12345")} {
+		if _, err := DecodeGarlic(data); err == nil {
+			t.Errorf("DecodeGarlic(%q) accepted", data)
+		}
+	}
+	g := &GarlicMessage{Cloves: []Clove{{Kind: DeliverLocal, Payload: []byte("x")}}}
+	data, err := g.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeGarlic(data[:len(data)-1]); err == nil {
+		t.Error("truncated garlic accepted")
+	}
+	if _, err := DecodeGarlic(append(data, 0)); err == nil {
+		t.Error("garlic with trailing bytes accepted")
+	}
+}
+
+func TestLayeredEncryption(t *testing.T) {
+	tn := &Tunnel{
+		ID:   42,
+		Hops: []netdb.Hash{netdb.HashFromUint64(1), netdb.HashFromUint64(2), netdb.HashFromUint64(3)},
+	}
+	payload := []byte("a garlic message in transit")
+	wrapped := WrapLayers(tn, payload)
+	if string(wrapped) == string(payload) {
+		t.Fatal("wrapping did not change the payload")
+	}
+	got, err := TraverseTunnel(tn, wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatal("traversal did not recover the payload")
+	}
+	// Intermediate hops must not see plaintext.
+	after0, err := PeelLayer(tn, 0, wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after0) == string(payload) {
+		t.Fatal("payload visible after first hop")
+	}
+	// Peeling out of order must not recover the payload: CBC layers do
+	// not commute, so a misrouted message stays opaque.
+	wrong, _ := PeelLayer(tn, 2, wrapped)
+	wrong, _ = PeelLayer(tn, 1, wrong)
+	wrong, _ = PeelLayer(tn, 0, wrong)
+	if _, err := pkcs7Unpad(wrong); err == nil {
+		t.Fatal("out-of-order peel produced well-formed padding")
+	}
+	if string(wrong) == string(pkcs7Pad(payload)) {
+		t.Fatal("out-of-order peel recovered plaintext")
+	}
+	if _, err := PeelLayer(tn, 5, wrapped); err == nil {
+		t.Fatal("out-of-range hop accepted")
+	}
+}
+
+func TestLayerKeysDifferPerTunnel(t *testing.T) {
+	hops := []netdb.Hash{netdb.HashFromUint64(1), netdb.HashFromUint64(2)}
+	t1 := &Tunnel{ID: 1, Hops: hops}
+	t2 := &Tunnel{ID: 2, Hops: hops}
+	payload := []byte("same payload")
+	w1 := WrapLayers(t1, payload)
+	w2 := WrapLayers(t2, payload)
+	if string(w1) == string(w2) {
+		t.Fatal("different tunnels produced identical ciphertext")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Inbound.String() != "inbound" || Outbound.String() != "outbound" {
+		t.Fatal("direction strings wrong")
+	}
+}
