@@ -33,11 +33,18 @@ var (
 )
 
 // benchStudy builds the shared 1/10-scale study once. Building costs a few
-// hundred milliseconds and would otherwise dominate every benchmark.
+// hundred milliseconds and would otherwise dominate every benchmark. In
+// -short mode (CI's benchmark smoke job) the network is scaled down
+// further: reported metrics shift with scale, but every code path still
+// runs.
 func benchStudy(b *testing.B) *i2pstudy.Study {
 	b.Helper()
 	studyOnce.Do(func() {
-		studyVal, studyErr = i2pstudy.NewStudy(i2pstudy.DefaultOptions())
+		opts := i2pstudy.DefaultOptions()
+		if testing.Short() {
+			opts.TargetDailyPeers = 1000
+		}
+		studyVal, studyErr = i2pstudy.NewStudy(opts)
 		if studyErr == nil {
 			// Pre-run the main campaign so dataset-backed experiments
 			// measure analysis cost, not the shared campaign.
@@ -48,6 +55,16 @@ func benchStudy(b *testing.B) *i2pstudy.Study {
 		b.Fatal(studyErr)
 	}
 	return studyVal
+}
+
+// skipIfShort guards the heaviest artifact regenerations (multi-day
+// observation sweeps, blocking/eclipse Monte Carlo, live-socket crawls)
+// so the -short smoke pass finishes in minutes.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("heavy benchmark skipped in -short mode")
+	}
 }
 
 // benchmarkExperiment runs one registry experiment per iteration and
@@ -78,10 +95,12 @@ func BenchmarkFigure02SingleRouterModes(b *testing.B) {
 }
 
 func BenchmarkFigure03BandwidthSweep(b *testing.B) {
+	skipIfShort(b)
 	benchmarkExperiment(b, "figure-03", "ff_advantage_at_128", "nonff_advantage_at_5mb", "union_spread_ratio")
 }
 
 func BenchmarkFigure04RouterScaling(b *testing.B) {
+	skipIfShort(b)
 	benchmarkExperiment(b, "figure-04", "share_at_20", "share_at_1", "total_at_40")
 }
 
@@ -126,12 +145,14 @@ func BenchmarkFigure12ASChurn(b *testing.B) {
 }
 
 func BenchmarkFigure13BlockingRates(b *testing.B) {
+	skipIfShort(b)
 	benchmarkExperiment(b, "figure-13",
 		"rate_2routers_1day", "rate_6routers_1day", "rate_20routers_1day",
 		"rate_10routers_5day", "rate_20routers_30day")
 }
 
 func BenchmarkFigure14UsabilityUnderBlocking(b *testing.B) {
+	skipIfShort(b)
 	benchmarkExperiment(b, "figure-14",
 		"load_unblocked_s", "load_65_s", "timeout_65_pct", "timeout_95_pct")
 }
@@ -141,6 +162,7 @@ func BenchmarkReseedBlocking(b *testing.B) {
 }
 
 func BenchmarkBridgeStrategies(b *testing.B) {
+	skipIfShort(b)
 	benchmarkExperiment(b, "bridge-strategies",
 		"random_initial", "random_final",
 		"newly-joined_initial", "newly-joined_final",
@@ -148,6 +170,7 @@ func BenchmarkBridgeStrategies(b *testing.B) {
 }
 
 func BenchmarkDPIFingerprinting(b *testing.B) {
+	skipIfShort(b)
 	benchmarkExperiment(b, "dpi-fingerprinting", "ntcp_detection_rate", "ntcp2_detection_rate")
 }
 
@@ -157,6 +180,7 @@ func BenchmarkPortBlockingCollateral(b *testing.B) {
 }
 
 func BenchmarkEclipseAttack(b *testing.B) {
+	skipIfShort(b)
 	benchmarkExperiment(b, "eclipse-attack",
 		"attacker_share_2routers", "attacker_share_20routers")
 }
@@ -170,9 +194,10 @@ func BenchmarkAblationFloodFanout(b *testing.B) {
 		"replicas_fanout_1", "replicas_fanout_3", "replicas_fanout_8")
 }
 
-// BenchmarkMainCampaign measures one full 20-observer campaign run (the
-// shared dataset used by Figures 5-12 is cached; this one is not).
-func BenchmarkMainCampaign(b *testing.B) {
+// benchmarkMainCampaign measures one 4-observer, 10-day campaign run at
+// the given engine width (the shared dataset used by Figures 5-12 is
+// cached; this one is not).
+func benchmarkMainCampaign(b *testing.B, workers int) {
 	s := benchStudy(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -180,6 +205,7 @@ func BenchmarkMainCampaign(b *testing.B) {
 			Observers: measure.DefaultObserverFleet(4),
 			StartDay:  0,
 			EndDay:    10,
+			Workers:   workers,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -193,6 +219,12 @@ func BenchmarkMainCampaign(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMainCampaign is the serial reference; BenchmarkMainCampaignParallel
+// runs the same campaign with one worker per CPU. The ratio between the
+// two is the engine's speedup on this machine (1.0 on a single core).
+func BenchmarkMainCampaign(b *testing.B)         { benchmarkMainCampaign(b, 1) }
+func BenchmarkMainCampaignParallel(b *testing.B) { benchmarkMainCampaign(b, 0) }
 
 // --- substrate micro-benchmarks ---
 

@@ -10,10 +10,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"github.com/i2pstudy/i2pstudy/internal/core"
 )
@@ -30,13 +35,18 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "network scale relative to the paper's 30.5K daily peers")
 	seed := flag.Uint64("seed", 2018, "simulation seed")
 	days := flag.Int("days", 45, "study horizon in days (>= 40)")
+	workers := flag.Int("workers", 0, "engine concurrency (0 = one worker per CPU, 1 = serial)")
 	experiment := flag.String("experiment", "", "run a single experiment by ID")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opts := core.DefaultOptions()
 	opts.Seed = *seed
 	opts.Days = *days
 	opts.TargetDailyPeers = int(*scale * 30500)
+	opts.Workers = *workers
 	study, err := core.NewStudy(opts)
 	if err != nil {
 		log.Fatal(err)
@@ -48,13 +58,16 @@ func main() {
 	if *experiment != "" {
 		ids = []string{*experiment}
 	}
-	for _, id := range ids {
-		res, err := study.RunExperiment(id)
-		if err != nil {
-			log.Fatalf("%s: %v", id, err)
+	results, err := study.RunAll(ctx, ids...)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted")
 		}
+		log.Fatal(err)
+	}
+	for _, res := range results {
 		fmt.Printf("=== %s: %s\n", res.ID, res.Title)
-		if e, ok := core.Lookup(id); ok {
+		if e, ok := core.Lookup(res.ID); ok {
 			fmt.Printf("paper: %s\n\n", e.Paper)
 		}
 		fmt.Println(res.Text)

@@ -5,19 +5,27 @@
 // Usage:
 //
 //	i2pmeasure -list
-//	i2pmeasure [-scale 0.1] [-seed 2018] [-experiment figure-05] [-snapshot-dir DIR]
+//	i2pmeasure [-scale 0.1] [-seed 2018] [-workers 0] [-experiment figure-05] [-snapshot-dir DIR]
 //
 // Without -experiment, every measurement experiment runs in order.
+// Experiments and the campaign engine fan out across -workers goroutines
+// (default: one per CPU); results are identical for any worker count.
+// Ctrl-C cancels the run cleanly — snapshot day directories are written
+// atomically, so an interrupted -snapshot-dir never holds a partial day.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/i2pstudy/i2pstudy/internal/core"
@@ -40,6 +48,7 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "network scale relative to the paper's 30.5K daily peers")
 	seed := flag.Uint64("seed", 2018, "simulation seed")
 	days := flag.Int("days", 45, "study horizon in days (>= 40)")
+	workers := flag.Int("workers", 0, "engine concurrency (0 = one worker per CPU, 1 = serial)")
 	experiment := flag.String("experiment", "", "run a single experiment by ID")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	snapshotDir := flag.String("snapshot-dir", "", "persist daily netDb snapshots (routerInfo-*.dat) under this directory")
@@ -53,20 +62,24 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := core.DefaultOptions()
 	opts.Seed = *seed
 	opts.Days = *days
 	opts.TargetDailyPeers = int(*scale * 30500)
+	opts.Workers = *workers
 	study, err := core.NewStudy(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("network: %d daily peers (scale %.2f), %d days, seed %d\n\n",
-		opts.TargetDailyPeers, *scale, opts.Days, opts.Seed)
+	fmt.Printf("network: %d daily peers (scale %.2f), %d days, seed %d, %d workers\n\n",
+		opts.TargetDailyPeers, *scale, opts.Days, opts.Seed, study.Workers())
 
 	if *snapshotDir != "" {
-		if err := writeSnapshots(study, *snapshotDir); err != nil {
-			log.Fatal(err)
+		if err := writeSnapshots(ctx, study, *snapshotDir); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -77,11 +90,11 @@ func main() {
 	sorted := append([]string(nil), ids...)
 	sort.Strings(sorted)
 	start := time.Now()
-	for _, id := range sorted {
-		res, err := study.RunExperiment(id)
-		if err != nil {
-			log.Fatalf("%s: %v", id, err)
-		}
+	results, err := study.RunAll(ctx, sorted...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, res := range results {
 		fmt.Printf("=== %s: %s\n", res.ID, res.Title)
 		fmt.Printf("paper: %s\n\n", paperNote(res.ID))
 		fmt.Println(res.Text)
@@ -89,26 +102,36 @@ func main() {
 		fmt.Println()
 		if *csvDir != "" && res.Figure != nil {
 			if err := writeCSV(*csvDir, res); err != nil {
-				log.Fatalf("%s: csv: %v", id, err)
+				log.Fatalf("%s: csv: %v", res.ID, err)
 			}
 		}
 	}
 	fmt.Printf("completed %d experiments in %s\n", len(sorted), time.Since(start).Round(time.Millisecond))
 }
 
+// fatal reports context cancellation as a clean interrupt, everything else
+// as a fatal error.
+func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		log.Fatal("interrupted")
+	}
+	log.Fatal(err)
+}
+
 // writeSnapshots runs a short 3-observer campaign with disk snapshots to
 // demonstrate the netDb-directory watching workflow of Section 4.3.
-func writeSnapshots(study *core.Study, dir string) error {
+func writeSnapshots(ctx context.Context, study *core.Study, dir string) error {
 	c, err := measure.NewCampaign(study.Net, measure.CampaignConfig{
 		Observers:   measure.DefaultObserverFleet(3),
 		StartDay:    0,
 		EndDay:      3,
 		SnapshotDir: dir,
+		Workers:     study.Workers(),
 	})
 	if err != nil {
 		return err
 	}
-	if _, err := c.Run(); err != nil {
+	if _, err := c.RunContext(ctx); err != nil {
 		return err
 	}
 	fmt.Printf("wrote netDb snapshots for days 0-2 under %s\n\n", dir)

@@ -5,13 +5,23 @@
 //
 // Usage:
 //
-//	i2pnetdb DIR
+//	i2pnetdb [-workers 0] DIR
+//
+// The per-record inventory fans out across -workers goroutines (default:
+// one per CPU) and Ctrl-C aborts the scan cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
 	"time"
 
 	"github.com/i2pstudy/i2pstudy/internal/geo"
@@ -19,14 +29,75 @@ import (
 	"github.com/i2pstudy/i2pstudy/internal/stats"
 )
 
+// inventory is the aggregate of one shard of RouterInfos; shards merge
+// commutatively, so the sharded scan matches a serial one exactly.
+type inventory struct {
+	classCounts                        map[netdb.BandwidthClass]int
+	ff, reachable, unknown, firewalled int
+	hidden, unresolved                 int
+	countries                          *stats.Counter
+}
+
+func newInventory() *inventory {
+	return &inventory{
+		classCounts: map[netdb.BandwidthClass]int{},
+		countries:   stats.NewCounter(),
+	}
+}
+
+func (inv *inventory) add(db *geo.DB, ri *netdb.RouterInfo) {
+	for _, cl := range ri.Caps.PublishedClasses() {
+		inv.classCounts[cl]++
+	}
+	if ri.Caps.Floodfill {
+		inv.ff++
+	}
+	if ri.Caps.Reachable {
+		inv.reachable++
+	}
+	if ri.UnknownIP() {
+		inv.unknown++
+	}
+	if ri.Firewalled() {
+		inv.firewalled++
+	}
+	if ri.HiddenPeer() {
+		inv.hidden++
+	}
+	for _, addr := range ri.IPs() {
+		if rec, ok := db.Lookup(addr); ok {
+			inv.countries.Inc(rec.CountryCode)
+		} else {
+			inv.unresolved++
+		}
+	}
+}
+
+func (inv *inventory) merge(other *inventory) {
+	for cl, n := range other.classCounts {
+		inv.classCounts[cl] += n
+	}
+	inv.ff += other.ff
+	inv.reachable += other.reachable
+	inv.unknown += other.unknown
+	inv.firewalled += other.firewalled
+	inv.hidden += other.hidden
+	inv.unresolved += other.unresolved
+	inv.countries.Merge(other.countries)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("i2pnetdb: ")
+	workers := flag.Int("workers", 0, "inventory concurrency (0 = one worker per CPU)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: i2pnetdb DIR")
+		log.Fatal("usage: i2pnetdb [-workers N] DIR")
 	}
 	dir := flag.Arg(0)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	store := netdb.NewStore(false)
 	loaded, err := store.LoadDir(dir, time.Now().UTC())
@@ -35,54 +106,69 @@ func main() {
 	}
 	fmt.Printf("loaded %d RouterInfos from %s\n\n", loaded, dir)
 
-	db := geo.NewDB()
-	classCounts := map[netdb.BandwidthClass]int{}
-	ff, reachable, unknown, firewalled, hidden := 0, 0, 0, 0, 0
-	countries := stats.NewCounter()
-	unresolved := 0
-	for _, ri := range store.RouterInfos() {
-		for _, cl := range ri.Caps.PublishedClasses() {
-			classCounts[cl]++
+	inv, err := scan(ctx, store.RouterInfos(), *workers)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted")
 		}
-		if ri.Caps.Floodfill {
-			ff++
-		}
-		if ri.Caps.Reachable {
-			reachable++
-		}
-		if ri.UnknownIP() {
-			unknown++
-		}
-		if ri.Firewalled() {
-			firewalled++
-		}
-		if ri.HiddenPeer() {
-			hidden++
-		}
-		for _, addr := range ri.IPs() {
-			if rec, ok := db.Lookup(addr); ok {
-				countries.Inc(rec.CountryCode)
-			} else {
-				unresolved++
-			}
-		}
+		log.Fatal(err)
 	}
 
 	total := store.RouterCount()
 	rows := [][]string{{"class", "records", "share"}}
 	for _, cl := range netdb.BandwidthClasses {
-		rows = append(rows, []string{cl.String(), fmt.Sprint(classCounts[cl]), stats.Percent(classCounts[cl], total)})
+		rows = append(rows, []string{cl.String(), fmt.Sprint(inv.classCounts[cl]), stats.Percent(inv.classCounts[cl], total)})
 	}
 	fmt.Println(stats.RenderTable(rows))
-	fmt.Printf("floodfill: %d (%s)\n", ff, stats.Percent(ff, total))
-	fmt.Printf("reachable: %d (%s)\n", reachable, stats.Percent(reachable, total))
-	fmt.Printf("unknown-IP: %d (firewalled %d, hidden %d)\n", unknown, firewalled, hidden)
-	fmt.Printf("unresolved addresses: %d\n\n", unresolved)
+	fmt.Printf("floodfill: %d (%s)\n", inv.ff, stats.Percent(inv.ff, total))
+	fmt.Printf("reachable: %d (%s)\n", inv.reachable, stats.Percent(inv.reachable, total))
+	fmt.Printf("unknown-IP: %d (firewalled %d, hidden %d)\n", inv.unknown, inv.firewalled, inv.hidden)
+	fmt.Printf("unresolved addresses: %d\n\n", inv.unresolved)
 
-	top := countries.Top(10)
+	top := inv.countries.Top(10)
 	rows = [][]string{{"country", "addresses"}}
 	for _, kv := range top {
 		rows = append(rows, []string{kv.Key, fmt.Sprint(kv.Count)})
 	}
 	fmt.Println(stats.RenderTable(rows))
+}
+
+// scan aggregates the inventory across a worker pool, one shard per
+// worker, honoring ctx cancellation between records.
+func scan(ctx context.Context, ris []*netdb.RouterInfo, workers int) (*inventory, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ris) {
+		workers = len(ris)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	db := geo.NewDB()
+	parts := make([]*inventory, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := newInventory()
+			for i := w; i < len(ris); i += workers {
+				if ctx.Err() != nil {
+					break
+				}
+				part.add(db, ris[i])
+			}
+			parts[w] = part
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	inv := newInventory()
+	for _, part := range parts {
+		inv.merge(part)
+	}
+	return inv, nil
 }

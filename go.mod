@@ -1,0 +1,3 @@
+module github.com/i2pstudy/i2pstudy
+
+go 1.22

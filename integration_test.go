@@ -179,6 +179,37 @@ func TestStudyDeterminism(t *testing.T) {
 	}
 }
 
+// TestStudyWorkerDeterminism: the engine's worker count must never leak
+// into an artifact — a Workers=1 study and a Workers=8 study render
+// byte-identical figures, including the campaign-backed ones.
+func TestStudyWorkerDeterminism(t *testing.T) {
+	opts := i2pstudy.DefaultOptions()
+	opts.TargetDailyPeers = 800
+	opts.Workers = 1
+	serial, err := i2pstudy.NewStudy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 8
+	parallel, err := i2pstudy.NewStudy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"figure-04", "figure-05", "table-01"} {
+		ra, err := serial.RunExperiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := parallel.RunExperiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Text != rb.Text {
+			t.Fatalf("%s: artifact depends on worker count", id)
+		}
+	}
+}
+
 // TestFullScaleSmoke builds the paper-scale network (guarded by -short).
 func TestFullScaleSmoke(t *testing.T) {
 	if testing.Short() {

@@ -6,7 +6,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -29,6 +32,10 @@ type Options struct {
 	// MainFleetSize is the number of observers in the main campaign (the
 	// paper used 20: 10 floodfill + 10 non-floodfill).
 	MainFleetSize int
+	// Workers caps the concurrency of the campaign engine and of RunAll.
+	// Zero or negative selects one worker per CPU; 1 forces the serial
+	// reference path. Results are identical for every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the 1/10-scale configuration used by tests and
@@ -79,9 +86,25 @@ func (s *Study) Scale() float64 {
 	return float64(s.Opts.TargetDailyPeers) / 30500
 }
 
-// MainDataset runs (once) and returns the main campaign: MainFleetSize
-// observers, alternating modes, full horizon.
+// Workers returns the study's effective engine concurrency.
+func (s *Study) Workers() int {
+	if s.Opts.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.Opts.Workers
+}
+
+// MainDataset runs (once) and returns the main campaign with a background
+// context. See MainDatasetContext.
 func (s *Study) MainDataset() (*measure.Dataset, error) {
+	return s.MainDatasetContext(context.Background())
+}
+
+// MainDatasetContext runs (once) and returns the main campaign:
+// MainFleetSize observers, alternating modes, full horizon, Workers-wide
+// engine. Concurrent callers share one run; a cancelled run is not
+// cached, so a later call retries.
+func (s *Study) MainDatasetContext(ctx context.Context) (*measure.Dataset, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dataset != nil {
@@ -91,11 +114,12 @@ func (s *Study) MainDataset() (*measure.Dataset, error) {
 		Observers: measure.DefaultObserverFleet(s.Opts.MainFleetSize),
 		StartDay:  0,
 		EndDay:    s.Opts.Days,
+		Workers:   s.Workers(),
 	})
 	if err != nil {
 		return nil, err
 	}
-	ds, err := c.Run()
+	ds, err := c.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -127,8 +151,10 @@ type Experiment struct {
 	Title string
 	// Paper summarizes the expected result from the paper.
 	Paper string
-	// Run executes the experiment against a study.
-	Run func(*Study) (*Result, error)
+	// Run executes the experiment against a study. Implementations must
+	// honor ctx cancellation between expensive stages and must treat the
+	// study's network as read-only so RunAll can run them concurrently.
+	Run func(context.Context, *Study) (*Result, error)
 }
 
 var (
@@ -167,11 +193,100 @@ func Lookup(id string) (Experiment, bool) {
 	return e, ok
 }
 
-// RunExperiment looks up and runs one experiment.
+// RunExperiment looks up and runs one experiment with a background
+// context.
 func (s *Study) RunExperiment(id string) (*Result, error) {
+	return s.RunExperimentContext(context.Background(), id)
+}
+
+// RunExperimentContext looks up and runs one experiment.
+func (s *Study) RunExperimentContext(ctx context.Context, id string) (*Result, error) {
 	e, ok := Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown experiment %q", id)
 	}
-	return e.Run(s)
+	return e.Run(ctx, s)
+}
+
+// RunAll runs the given experiments (all registered ones when ids is
+// empty) across a Workers-wide pool and returns their results in the
+// requested order. Experiments only read the shared network, and the
+// main-campaign dataset is built once under the study lock, so arbitrary
+// subsets can run side by side; each experiment's output is identical to
+// a sequential RunExperiment call. The first failure (or ctx
+// cancellation) cancels the remaining runs.
+func (s *Study) RunAll(ctx context.Context, ids ...string) ([]*Result, error) {
+	if len(ids) == 0 {
+		for _, e := range Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	// Resolve every ID up front: an unknown experiment should fail fast,
+	// not after its predecessors ran for minutes.
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown experiment %q", id)
+		}
+		exps[i] = e
+	}
+
+	workers := s.Workers()
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*Result, len(exps))
+	tasks := make(chan int, len(exps))
+	for i := range exps {
+		tasks <- i
+	}
+	close(tasks)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				if cctx.Err() != nil {
+					continue
+				}
+				res, err := exps[i].Run(cctx, s)
+				switch {
+				case err == nil:
+					results[i] = res
+				case errors.Is(err, context.Canceled) && cctx.Err() != nil:
+					// Cancellation fallout from the parent ctx or from a
+					// peer experiment's failure; the root cause is
+					// reported below, not this bystander's error.
+				default:
+					fail(fmt.Errorf("%s: %w", exps[i].ID, err))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		if res == nil {
+			return nil, fmt.Errorf("core: %s returned no result", exps[i].ID)
+		}
+	}
+	return results, nil
 }

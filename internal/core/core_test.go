@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -105,7 +106,7 @@ func TestMainDatasetCached(t *testing.T) {
 func TestAllExperimentsRun(t *testing.T) {
 	s := study(t)
 	for _, e := range Experiments() {
-		res, err := e.Run(s)
+		res, err := e.Run(context.Background(), s)
 		if err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}

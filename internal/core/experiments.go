@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"github.com/i2pstudy/i2pstudy/internal/censor"
 	"github.com/i2pstudy/i2pstudy/internal/eepsite"
+	"github.com/i2pstudy/i2pstudy/internal/measure"
 	"github.com/i2pstudy/i2pstudy/internal/netdb"
 	"github.com/i2pstudy/i2pstudy/internal/reseed"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
@@ -155,7 +157,7 @@ func init() {
 // room for blacklist windows behind it.
 func (s *Study) experimentDay() int { return s.Opts.Days - 5 }
 
-func runFigure02(s *Study) (*Result, error) {
+func runFigure02(ctx context.Context, s *Study) (*Result, error) {
 	fig := &stats.Figure{
 		Title:  "Figure 2: peers observed by one high-end router, 5 days per mode",
 		XLabel: "day",
@@ -165,18 +167,26 @@ func runFigure02(s *Study) (*Result, error) {
 	nfSeries := fig.AddSeries("non-floodfill")
 	ff := s.Net.NewObserver(sim.ObserverConfig{Name: "f2-ff", Floodfill: true, SharedKBps: sim.MaxSharedKBps, Seed: 21})
 	nf := s.Net.NewObserver(sim.ObserverConfig{Name: "f2-nf", Floodfill: false, SharedKBps: sim.MaxSharedKBps, Seed: 22})
+	// Five days per mode, captured through the parallel engine: the ff
+	// observer covers days 2-6, the nf observer days 7-11.
+	ffGrid, err := measure.ObserveGrid(ctx, []*sim.Observer{ff}, []int{2, 3, 4, 5, 6}, s.Workers())
+	if err != nil {
+		return nil, err
+	}
+	nfGrid, err := measure.ObserveGrid(ctx, []*sim.Observer{nf}, []int{7, 8, 9, 10, 11}, s.Workers())
+	if err != nil {
+		return nil, err
+	}
 	var ffSum, nfSum float64
-	for d := 0; d < 10; d++ {
-		day := 2 + d
-		if d < 5 {
-			n := float64(len(ff.ObserveDay(day)))
-			ffSeries.Append(float64(d+1), n)
-			ffSum += n
-		} else {
-			n := float64(len(nf.ObserveDay(day)))
-			nfSeries.Append(float64(d+1), n)
-			nfSum += n
-		}
+	for d := 0; d < 5; d++ {
+		n := float64(len(ffGrid[0][d]))
+		ffSeries.Append(float64(d+1), n)
+		ffSum += n
+	}
+	for d := 0; d < 5; d++ {
+		n := float64(len(nfGrid[0][d]))
+		nfSeries.Append(float64(d+6), n)
+		nfSum += n
 	}
 	return &Result{
 		ID: "figure-02", Title: "Figure 2", Text: fig.Render(), Figure: fig,
@@ -189,7 +199,7 @@ func runFigure02(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runFigure03(s *Study) (*Result, error) {
+func runFigure03(ctx context.Context, s *Study) (*Result, error) {
 	day := s.experimentDay()
 	fig := &stats.Figure{
 		Title:  "Figure 3: peers observed vs shared bandwidth",
@@ -200,16 +210,36 @@ func runFigure03(s *Study) (*Result, error) {
 	nfS := fig.AddSeries("non-floodfill")
 	bothS := fig.AddSeries("both")
 	bandwidths := []int{128, 256, 1024, 2048, 3072, 4096, 5120}
+	// One floodfill + one non-floodfill observer per bandwidth point; the
+	// engine captures the whole (observer, day) grid concurrently and the
+	// fold below replays the original per-bandwidth averaging.
+	observers := make([]*sim.Observer, 0, 2*len(bandwidths))
+	for i, bw := range bandwidths {
+		observers = append(observers,
+			s.Net.NewObserver(sim.ObserverConfig{Floodfill: true, SharedKBps: bw, Seed: uint64(31 + i)}),
+			s.Net.NewObserver(sim.ObserverConfig{Floodfill: false, SharedKBps: bw, Seed: uint64(51 + i)}))
+	}
+	days := []int{day - 2, day - 1, day}
+	grid, err := measure.ObserveGrid(ctx, observers, days, s.Workers())
+	if err != nil {
+		return nil, err
+	}
 	var ff128, nf128, ff5120, nf5120, unionMin, unionMax float64
 	for i, bw := range bandwidths {
-		ff := s.Net.NewObserver(sim.ObserverConfig{Floodfill: true, SharedKBps: bw, Seed: uint64(31 + i)})
-		nf := s.Net.NewObserver(sim.ObserverConfig{Floodfill: false, SharedKBps: bw, Seed: uint64(51 + i)})
+		ffDays, nfDays := grid[2*i], grid[2*i+1]
 		// Average over three days to suppress sampling noise.
 		var ffN, nfN, unionN float64
-		for _, d := range []int{day - 2, day - 1, day} {
-			ffN += float64(len(ff.ObserveDay(d)))
-			nfN += float64(len(nf.ObserveDay(d)))
-			unionN += float64(len(sim.UnionObserveDay([]*sim.Observer{ff, nf}, d)))
+		for d := range days {
+			ffN += float64(len(ffDays[d]))
+			nfN += float64(len(nfDays[d]))
+			union := make(map[int]bool, len(ffDays[d])+len(nfDays[d]))
+			for _, idx := range ffDays[d] {
+				union[idx] = true
+			}
+			for _, idx := range nfDays[d] {
+				union[idx] = true
+			}
+			unionN += float64(len(union))
 		}
 		ffN, nfN, unionN = ffN/3, nfN/3, unionN/3
 		ffS.Append(float64(bw), ffN)
@@ -239,7 +269,7 @@ func runFigure03(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runFigure04(s *Study) (*Result, error) {
+func runFigure04(ctx context.Context, s *Study) (*Result, error) {
 	fig := &stats.Figure{
 		Title:  "Figure 4: cumulative peers observed by 1-40 routers",
 		XLabel: "routers under our control",
@@ -256,16 +286,22 @@ func runFigure04(s *Study) (*Result, error) {
 	}
 	// The paper ran the fleet for five days and reports the cumulative
 	// number of peers observed daily across the first k routers; average
-	// the per-day union over the same five days.
+	// the per-day union over the same five days. The 40x5 capture grid is
+	// the experiment's hot path and runs through the parallel engine; the
+	// cumulative-union fold below is sequential by construction.
 	days := []int{6, 7, 8, 9, 10}
+	grid, err := measure.ObserveGrid(ctx, observers, days, s.Workers())
+	if err != nil {
+		return nil, err
+	}
 	perDaySeen := make([]map[int]bool, len(days))
 	for i := range perDaySeen {
 		perDaySeen[i] = make(map[int]bool)
 	}
-	for k, o := range observers {
+	for k := range observers {
 		sum := 0
-		for i, day := range days {
-			for _, idx := range o.ObserveDay(day) {
+		for i := range days {
+			for _, idx := range grid[k][i] {
 				perDaySeen[i][idx] = true
 			}
 			sum += len(perDaySeen[i])
@@ -292,8 +328,8 @@ func runFigure04(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runFigure05(s *Study) (*Result, error) {
-	ds, err := s.MainDataset()
+func runFigure05(ctx context.Context, s *Study) (*Result, error) {
+	ds, err := s.MainDatasetContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -317,8 +353,8 @@ func runFigure05(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runFigure06(s *Study) (*Result, error) {
-	ds, err := s.MainDataset()
+func runFigure06(ctx context.Context, s *Study) (*Result, error) {
+	ds, err := s.MainDatasetContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -342,8 +378,8 @@ func runFigure06(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runFigure07(s *Study) (*Result, error) {
-	ds, err := s.MainDataset()
+func runFigure07(ctx context.Context, s *Study) (*Result, error) {
+	ds, err := s.MainDatasetContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -366,8 +402,8 @@ func runFigure07(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runFigure08(s *Study) (*Result, error) {
-	ds, err := s.MainDataset()
+func runFigure08(ctx context.Context, s *Study) (*Result, error) {
+	ds, err := s.MainDatasetContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -403,8 +439,8 @@ func runFigure08(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runFigure09(s *Study) (*Result, error) {
-	ds, err := s.MainDataset()
+func runFigure09(ctx context.Context, s *Study) (*Result, error) {
+	ds, err := s.MainDatasetContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -419,8 +455,8 @@ func runFigure09(s *Study) (*Result, error) {
 	return &Result{ID: "figure-09", Title: "Figure 9", Text: text, Metrics: m}, nil
 }
 
-func runTable01(s *Study) (*Result, error) {
-	ds, err := s.MainDataset()
+func runTable01(ctx context.Context, s *Study) (*Result, error) {
+	ds, err := s.MainDatasetContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -438,8 +474,8 @@ func runTable01(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runEstimateFloodfill(s *Study) (*Result, error) {
-	ds, err := s.MainDataset()
+func runEstimateFloodfill(ctx context.Context, s *Study) (*Result, error) {
+	ds, err := s.MainDatasetContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -458,8 +494,8 @@ func runEstimateFloodfill(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runFigure10(s *Study) (*Result, error) {
-	ds, err := s.MainDataset()
+func runFigure10(ctx context.Context, s *Study) (*Result, error) {
+	ds, err := s.MainDatasetContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -485,8 +521,8 @@ func runFigure10(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runFigure11(s *Study) (*Result, error) {
-	ds, err := s.MainDataset()
+func runFigure11(ctx context.Context, s *Study) (*Result, error) {
+	ds, err := s.MainDatasetContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -503,8 +539,8 @@ func runFigure11(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runFigure12(s *Study) (*Result, error) {
-	ds, err := s.MainDataset()
+func runFigure12(ctx context.Context, s *Study) (*Result, error) {
+	ds, err := s.MainDatasetContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -525,7 +561,7 @@ func runFigure12(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runFigure13(s *Study) (*Result, error) {
+func runFigure13(ctx context.Context, s *Study) (*Result, error) {
 	day := s.experimentDay()
 	fig, err := censor.Figure13(s.Net, 20, []int{1, 5, 10, 20, 30}, day, 700)
 	if err != nil {
@@ -551,7 +587,7 @@ func runFigure13(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runFigure14(s *Study) (*Result, error) {
+func runFigure14(ctx context.Context, s *Study) (*Result, error) {
 	day := s.experimentDay()
 	// The client's netDb: what the victim knows on the experiment day.
 	victim := censor.NewVictim(s.Net, 911)
@@ -607,7 +643,7 @@ func hashBlockFraction(rate float64) func(netdb.Hash) bool {
 	}
 }
 
-func runReseedBlocking(s *Study) (*Result, error) {
+func runReseedBlocking(ctx context.Context, s *Study) (*Result, error) {
 	day := 2
 	rng := rand.New(rand.NewPCG(61, 61))
 	// Reseed servers serve live RouterInfos from the network.
@@ -659,7 +695,7 @@ func runReseedBlocking(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runBridgeStrategies(s *Study) (*Result, error) {
+func runBridgeStrategies(ctx context.Context, s *Study) (*Result, error) {
 	cfg := censor.DefaultBridgeConfig()
 	cfg.Day = s.experimentDay() - 11
 	cfg.HorizonDays = 10
@@ -685,7 +721,7 @@ func runBridgeStrategies(s *Study) (*Result, error) {
 	return &Result{ID: "bridge-strategies", Title: "Section 7.1", Text: sb.String(), Metrics: metrics}, nil
 }
 
-func runDPIFingerprinting(s *Study) (*Result, error) {
+func runDPIFingerprinting(ctx context.Context, s *Study) (*Result, error) {
 	flows := 8
 	detect := func(variant transport.Variant) (float64, error) {
 		var mb transport.Middlebox
@@ -742,7 +778,7 @@ func runDPIFingerprinting(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runPortBlocking(s *Study) (*Result, error) {
+func runPortBlocking(ctx context.Context, s *Study) (*Result, error) {
 	res := censor.EvaluatePortBlocking(200_000, 20_000, s.Opts.Seed)
 	rows := [][]string{{"technique", "I2P blocked", "collateral"}}
 	rows = append(rows, []string{
@@ -774,7 +810,7 @@ func runPortBlocking(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runEclipseAttack(s *Study) (*Result, error) {
+func runEclipseAttack(ctx context.Context, s *Study) (*Result, error) {
 	day := s.experimentDay()
 	// Inject attacker routers amounting to ~1% of the network — cheap for
 	// a censor that already runs monitoring infrastructure.
@@ -797,7 +833,7 @@ func runEclipseAttack(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runAblationObserverMix(s *Study) (*Result, error) {
+func runAblationObserverMix(ctx context.Context, s *Study) (*Result, error) {
 	day := s.experimentDay()
 	mix := func(ffCount, nfCount int, seedBase uint64) float64 {
 		var obs []*sim.Observer
@@ -829,7 +865,7 @@ func runAblationObserverMix(s *Study) (*Result, error) {
 	}, nil
 }
 
-func runAblationFloodFanout(s *Study) (*Result, error) {
+func runAblationFloodFanout(ctx context.Context, s *Study) (*Result, error) {
 	// Replication study over the real netdb machinery: one fresh
 	// RouterInfo is stored to the 4 floodfills closest to its routing key,
 	// each of which floods it to its own `fanout` closest floodfills.

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// runAllIDs is a cheap, representative experiment subset: two engine-backed
+// observation sweeps, one dataset-backed figure, and one pure model.
+var runAllIDs = []string{"figure-02", "figure-04", "figure-09", "port-blocking"}
+
+// TestRunAllMatchesSequential proves the parallel experiment runner
+// returns exactly what sequential RunExperiment calls produce, in input
+// order.
+func TestRunAllMatchesSequential(t *testing.T) {
+	s := study(t)
+	results, err := s.RunAll(context.Background(), runAllIDs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(runAllIDs) {
+		t.Fatalf("RunAll returned %d results, want %d", len(results), len(runAllIDs))
+	}
+	for i, id := range runAllIDs {
+		seq, err := s.RunExperiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i].ID != id {
+			t.Errorf("results[%d].ID = %q, want %q (order must match input)", i, results[i].ID, id)
+		}
+		if results[i].Text != seq.Text {
+			t.Errorf("%s: RunAll artifact differs from sequential run", id)
+		}
+	}
+}
+
+func TestRunAllUnknownIDFailsFast(t *testing.T) {
+	s := study(t)
+	if _, err := s.RunAll(context.Background(), "figure-02", "figure-99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunAllCancelled(t *testing.T) {
+	s := study(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunAll(ctx, runAllIDs...); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunAll error = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunAllRaceStress drives overlapping RunAll calls on one study; under
+// -race it exercises the shared MainDataset build, the registry, and the
+// read-only network contract concurrently.
+func TestRunAllRaceStress(t *testing.T) {
+	opts := DefaultOptions()
+	opts.TargetDailyPeers = 800
+	opts.Workers = 8
+	s, err := NewStudy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results, err := s.RunAll(context.Background(), "figure-04", "figure-05", "figure-06")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, res := range results {
+				if res == nil || res.Text == "" {
+					t.Error("empty result from concurrent RunAll")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,10 +1,13 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/i2pstudy/i2pstudy/internal/geo"
@@ -23,8 +26,17 @@ type CampaignConfig struct {
 	// SnapshotDir, when non-empty, persists one observer's netDb to disk
 	// each day (routerInfo-*.dat files) exactly as the paper's harness
 	// watched the Java router's netDb directory. Mostly useful for the
-	// CLI tools; analyses never read it back.
+	// CLI tools; analyses never read it back. Each day directory appears
+	// atomically (written to a temp dir, then renamed), so an interrupted
+	// campaign never leaves a half-written day behind.
 	SnapshotDir string
+	// Workers caps the number of concurrent (day, observer) captures.
+	// Zero or negative selects one worker per CPU; 1 selects the
+	// reference serial path. Every worker count yields a byte-identical
+	// Dataset: captures are deterministic per (observer seed, day) and
+	// the merge tie-breaks by observer order, exactly as the serial loop
+	// does.
+	Workers int
 }
 
 // DefaultObserverFleet returns the paper's main fleet: count observers at
@@ -68,22 +80,52 @@ func NewCampaign(network *sim.Network, cfg CampaignConfig) (*Campaign, error) {
 // Observers returns the instantiated observers.
 func (c *Campaign) Observers() []*sim.Observer { return c.obs }
 
-// Run executes the campaign: for every day, every observer captures its
-// RouterInfos (the union of its hourly netDb scans), the records are
-// decoded and merged, and the dataset accumulators are updated. The
-// equivalent of the paper's daily netDb cleanup is implicit: each day
-// starts from an empty observation set.
+// Run executes the campaign with a background context. See RunContext.
 func (c *Campaign) Run() (*Dataset, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext executes the campaign: for every day, every observer captures
+// its RouterInfos (the union of its hourly netDb scans), the records are
+// merged, and the dataset accumulators are updated. The equivalent of the
+// paper's daily netDb cleanup is implicit: each day starts from an empty
+// observation set.
+//
+// With Workers != 1 the engine fans per-(day, observer) captures across a
+// worker pool, merges each day's records into hash-sharded maps, and
+// pipelines days: day N+1 collection overlaps day N accumulation and
+// snapshotting. Accumulation itself always proceeds in ascending day
+// order, so the resulting Dataset is identical to the serial path's.
+func (c *Campaign) RunContext(ctx context.Context) (*Dataset, error) {
 	ds := NewDataset(c.cfg.StartDay, c.cfg.EndDay)
-	db := c.net.GeoDB()
-
-	var snapshotStore *netdb.Store
-	if c.cfg.SnapshotDir != "" {
-		snapshotStore = netdb.NewStore(false)
+	workers := resolveWorkers(c.cfg.Workers)
+	var err error
+	if workers <= 1 {
+		err = c.runSerial(ctx, ds)
+	} else {
+		err = c.runParallel(ctx, ds, workers)
 	}
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
 
+// runSerial is the reference implementation: days in order, observers in
+// order, one merged map per day. The parallel engine must stay
+// byte-identical to it (see TestCampaignParallelMatchesSerial).
+func (c *Campaign) runSerial(ctx context.Context, ds *Dataset) error {
+	snap, err := c.newSnapshotter()
+	if err != nil {
+		return err
+	}
+	db := c.net.GeoDB()
 	for day := c.cfg.StartDay; day < c.cfg.EndDay; day++ {
-		// Merge all observers' captures for the day, newest record wins.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Merge all observers' captures for the day, newest record wins;
+		// on a Published tie the earliest observer wins.
 		merged := make(map[netdb.Hash]*netdb.RouterInfo)
 		for _, o := range c.obs {
 			for _, ri := range o.CollectDay(day) {
@@ -93,113 +135,273 @@ func (c *Campaign) Run() (*Dataset, error) {
 				}
 			}
 		}
-		c.accumulateDay(ds, db, day, merged)
-
-		if snapshotStore != nil {
-			now := c.net.DayTime(day)
-			snapshotStore.Clear() // the daily cleanup of Section 4.3
-			for _, ri := range merged {
-				snapshotStore.PutRouterInfo(ri, now)
-			}
-			dir := filepath.Join(c.cfg.SnapshotDir, fmt.Sprintf("day-%03d", day), "netDb")
-			if err := snapshotStore.SaveDir(dir); err != nil {
-				return nil, err
-			}
+		shards := []map[netdb.Hash]*netdb.RouterInfo{merged}
+		c.accumulateDay(ds, db, day, shards)
+		if err := snap.write(day, shards); err != nil {
+			return err
 		}
 	}
-	return ds, nil
+	return nil
+}
+
+// mergedDay is one day's deduplicated observations, split into hash
+// shards so the merge can proceed in parallel. Shard layout never affects
+// the Dataset: accumulation is commutative across records within a day.
+type mergedDay struct {
+	day    int
+	shards []map[netdb.Hash]*netdb.RouterInfo
+}
+
+// runParallel is the concurrent campaign engine. Three overlapping stages:
+//
+//  1. capture — a fanOut pool runs CollectDay per (day, observer) and
+//     partitions each capture by identity-hash shard;
+//  2. merge — the worker completing a day's last capture merges its
+//     shards, each shard scanning observers in order (preserving the
+//     serial tie-break) on its own goroutine;
+//  3. accumulate — a single consumer folds merged days into the Dataset
+//     in ascending day order and writes snapshots, overlapping with
+//     later days' capture and merge work.
+func (c *Campaign) runParallel(ctx context.Context, ds *Dataset, workers int) error {
+	snap, err := c.newSnapshotter()
+	if err != nil {
+		return err
+	}
+	db := c.net.GeoDB()
+	nDays := c.cfg.EndDay - c.cfg.StartDay
+	nObs := len(c.obs)
+	shards := mergeShards(workers)
+
+	// captures[d][o][s] holds observer o's day-d records for hash shard s.
+	captures := make([][][][]*netdb.RouterInfo, nDays)
+	pending := make([]atomic.Int32, nDays)
+	for d := range captures {
+		captures[d] = make([][][]*netdb.RouterInfo, nObs)
+		pending[d].Store(int32(nObs))
+	}
+	mergedCh := make(chan *mergedDay, nDays)
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	collectErr := make(chan error, 1)
+	go func() {
+		// Task order is day-major, so early days complete (and unblock the
+		// in-order accumulator) first.
+		collectErr <- fanOut(cctx, nDays*nObs, workers, func(t int) error {
+			di, oi := t/nObs, t%nObs
+			day := c.cfg.StartDay + di
+			captures[di][oi] = shardCapture(c.obs[oi].CollectDay(day), shards)
+			if pending[di].Add(-1) != 0 {
+				return nil
+			}
+			// Last capture for this day: merge its shards in parallel.
+			md := &mergedDay{day: day, shards: make([]map[netdb.Hash]*netdb.RouterInfo, shards)}
+			var wg sync.WaitGroup
+			for s := 0; s < shards; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					m := make(map[netdb.Hash]*netdb.RouterInfo)
+					for o := 0; o < nObs; o++ {
+						for _, ri := range captures[di][o][s] {
+							prev, ok := m[ri.Identity]
+							if !ok || ri.Published.After(prev.Published) {
+								m[ri.Identity] = ri
+							}
+						}
+					}
+					md.shards[s] = m
+				}(s)
+			}
+			wg.Wait()
+			captures[di] = nil // day fully merged; release the raw captures
+			mergedCh <- md
+			return nil
+		})
+		close(mergedCh)
+	}()
+
+	// In-order accumulator with a reorder buffer: merged days can arrive
+	// out of order, the Dataset fold must not.
+	buffer := make(map[int]*mergedDay, workers)
+	next := c.cfg.StartDay
+	var accErr error
+	for md := range mergedCh {
+		buffer[md.day] = md
+		for accErr == nil {
+			m, ok := buffer[next]
+			if !ok {
+				break
+			}
+			delete(buffer, next)
+			c.accumulateDay(ds, db, next, m.shards)
+			if err := snap.write(next, m.shards); err != nil {
+				accErr = err
+				cancel() // stop the capture pool; drain below
+			}
+			next++
+		}
+	}
+	if err := <-collectErr; accErr == nil && err != nil {
+		return err
+	}
+	return accErr
+}
+
+// shardCapture partitions one observer-day capture by identity hash.
+func shardCapture(recs []*netdb.RouterInfo, shards int) [][]*netdb.RouterInfo {
+	parts := make([][]*netdb.RouterInfo, shards)
+	if shards == 1 {
+		parts[0] = recs
+		return parts
+	}
+	for s := range parts {
+		parts[s] = make([]*netdb.RouterInfo, 0, len(recs)/shards+1)
+	}
+	for _, ri := range recs {
+		s := int(ri.Identity[0]) % shards
+		parts[s] = append(parts[s], ri)
+	}
+	return parts
 }
 
 // accumulateDay folds one day's merged observations into the dataset.
-func (c *Campaign) accumulateDay(ds *Dataset, db *geo.DB, day int, merged map[netdb.Hash]*netdb.RouterInfo) {
+// Every update is commutative across records, so shard layout and
+// iteration order never change the result; only the day order matters
+// (FirstDay/LastDay tracking), which both run paths preserve.
+func (c *Campaign) accumulateDay(ds *Dataset, db *geo.DB, day int, shards []map[netdb.Hash]*netdb.RouterInfo) {
 	stats := ds.day(day)
 	ipSeen := make(map[netip.Addr]bool)
 
-	for h, ri := range merged {
-		stats.Peers++
+	for _, merged := range shards {
+		for h, ri := range merged {
+			stats.Peers++
 
-		// Peer tracking.
-		t := ds.track(h)
-		if t.FirstDay < 0 {
-			t.FirstDay = day
-		}
-		t.LastDay = day
-		t.SeenDays[day-ds.StartDay] = true
+			// Peer tracking.
+			t := ds.track(h)
+			if t.FirstDay < 0 {
+				t.FirstDay = day
+			}
+			t.LastDay = day
+			t.SeenDays[day-ds.StartDay] = true
 
-		// Addresses.
-		hasV4, hasV6 := false, false
-		for _, addr := range ri.IPs() {
-			t.IPs[addr] = true
-			if !ipSeen[addr] {
-				ipSeen[addr] = true
-				stats.IPAll++
-				if addr.Is4() {
-					stats.IPv4++
+			// Addresses.
+			for _, addr := range ri.IPs() {
+				t.IPs[addr] = true
+				if !ipSeen[addr] {
+					ipSeen[addr] = true
+					stats.IPAll++
+					if addr.Is4() {
+						stats.IPv4++
+					} else {
+						stats.IPv6++
+					}
+				}
+				if rec, ok := db.Lookup(addr); ok {
+					t.ASNs[rec.ASN] = true
+					t.Countries[rec.CountryCode] = true
 				} else {
-					stats.IPv6++
+					ds.Unresolved++
 				}
 			}
-			if addr.Is4() {
-				hasV4 = true
-			} else {
-				hasV6 = true
-			}
-			if rec, ok := db.Lookup(addr); ok {
-				t.ASNs[rec.ASN] = true
-				t.Countries[rec.CountryCode] = true
-			} else {
-				ds.Unresolved++
-			}
-		}
-		_ = hasV4
-		_ = hasV6
 
-		// Status classification (Section 5.1 / Figure 6).
-		firewalled := ri.Firewalled()
-		hidden := ri.HiddenPeer()
-		if ri.HasKnownIP() {
-			t.EverKnownIP = true
-		} else {
-			stats.UnknownIP++
-		}
-		if firewalled {
-			stats.Firewalled++
-			t.EverFirewalled = true
-		}
-		if hidden {
-			stats.Hidden++
-			t.EverHidden = true
-		}
-		if firewalled && hidden {
-			stats.Overlap++
-		}
+			// Status classification (Section 5.1 / Figure 6).
+			firewalled := ri.Firewalled()
+			hidden := ri.HiddenPeer()
+			if ri.HasKnownIP() {
+				t.EverKnownIP = true
+			} else {
+				stats.UnknownIP++
+			}
+			if firewalled {
+				stats.Firewalled++
+				t.EverFirewalled = true
+			}
+			if hidden {
+				stats.Hidden++
+				t.EverHidden = true
+			}
+			if firewalled && hidden {
+				stats.Overlap++
+			}
 
-		// Capacity flags (Figure 9, Table 1).
-		published := ri.Caps.PublishedClasses()
-		for _, cl := range published {
-			stats.ClassCounts[cl]++
-			t.Classes[cl] = true
-		}
-		t.primaryCount[ri.Caps.Class]++
-		if ri.Caps.Floodfill {
-			stats.Floodfill++
-			t.EverFloodfill = true
+			// Capacity flags (Figure 9, Table 1).
+			published := ri.Caps.PublishedClasses()
 			for _, cl := range published {
-				stats.GroupClass["floodfill"][cl]++
+				stats.ClassCounts[cl]++
+				t.Classes[cl] = true
 			}
-		}
-		if ri.Caps.Reachable {
-			stats.Reachable++
-			for _, cl := range published {
-				stats.GroupClass["reachable"][cl]++
+			t.primaryCount[ri.Caps.Class]++
+			if ri.Caps.Floodfill {
+				stats.Floodfill++
+				t.EverFloodfill = true
+				for _, cl := range published {
+					stats.GroupClass["floodfill"][cl]++
+				}
 			}
-		} else {
-			stats.Unreachable++
-			for _, cl := range published {
-				stats.GroupClass["unreachable"][cl]++
+			if ri.Caps.Reachable {
+				stats.Reachable++
+				for _, cl := range published {
+					stats.GroupClass["reachable"][cl]++
+				}
+			} else {
+				stats.Unreachable++
+				for _, cl := range published {
+					stats.GroupClass["unreachable"][cl]++
+				}
 			}
 		}
 	}
+}
+
+// snapshotter persists one day's merged netDb at a time. Day directories
+// are staged under a temp name and renamed into place so readers (and
+// interrupted runs) only ever see complete days.
+type snapshotter struct {
+	c     *Campaign
+	store *netdb.Store
+}
+
+func (c *Campaign) newSnapshotter() (*snapshotter, error) {
+	if c.cfg.SnapshotDir == "" {
+		return &snapshotter{}, nil
+	}
+	if err := os.MkdirAll(c.cfg.SnapshotDir, 0o755); err != nil {
+		return nil, fmt.Errorf("measure: snapshot dir: %w", err)
+	}
+	return &snapshotter{c: c, store: netdb.NewStore(false)}, nil
+}
+
+func (s *snapshotter) write(day int, shards []map[netdb.Hash]*netdb.RouterInfo) error {
+	if s.store == nil {
+		return nil
+	}
+	now := s.c.net.DayTime(day)
+	s.store.Clear() // the daily cleanup of Section 4.3
+	for _, merged := range shards {
+		for _, ri := range merged {
+			s.store.PutRouterInfo(ri, now)
+		}
+	}
+	final := filepath.Join(s.c.cfg.SnapshotDir, fmt.Sprintf("day-%03d", day))
+	tmp := filepath.Join(s.c.cfg.SnapshotDir, fmt.Sprintf(".day-%03d.tmp", day))
+	if err := os.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("measure: snapshot: %w", err)
+	}
+	if err := s.store.SaveDir(filepath.Join(tmp, "netDb")); err != nil {
+		os.RemoveAll(tmp)
+		return err
+	}
+	if err := os.RemoveAll(final); err != nil {
+		os.RemoveAll(tmp)
+		return fmt.Errorf("measure: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.RemoveAll(tmp)
+		return fmt.Errorf("measure: snapshot: %w", err)
+	}
+	return nil
 }
 
 // WriteSummary writes a short plain-text campaign summary to path.

@@ -1,0 +1,231 @@
+package measure
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+)
+
+// parallelTestNet builds the 30-day, 8-observer fixture the equivalence
+// suite runs against.
+func parallelTestNet(t testing.TB) *sim.Network {
+	t.Helper()
+	n, err := sim.New(sim.Config{Seed: 7, Days: 30, TargetDailyPeers: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func runWithWorkers(t testing.TB, n *sim.Network, workers int) *Dataset {
+	t.Helper()
+	c, err := NewCampaign(n, CampaignConfig{
+		Observers: DefaultObserverFleet(8),
+		StartDay:  0,
+		EndDay:    30,
+		Workers:   workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := c.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestCampaignParallelMatchesSerial is the engine's golden equivalence
+// guarantee: any worker count produces a Dataset identical to the serial
+// reference path, so parallelism can never change a figure or table.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	n := parallelTestNet(t)
+	serial := runWithWorkers(t, n, 1)
+	if serial.TotalPeers() == 0 {
+		t.Fatal("serial campaign observed nothing")
+	}
+	for _, workers := range []int{2, 3, 8, 32} {
+		parallel := runWithWorkers(t, n, workers)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("Workers=%d dataset differs from serial reference", workers)
+		}
+	}
+	// Workers=0 (auto) must also match.
+	if auto := runWithWorkers(t, n, 0); !reflect.DeepEqual(serial, auto) {
+		t.Error("Workers=0 (auto) dataset differs from serial reference")
+	}
+}
+
+// TestCampaignParallelRaceStress hammers the engine from several
+// goroutines at once; it exists for the -race build, where it proves the
+// capture/merge/accumulate pipeline and the immutable-network contract
+// hold under real interleavings.
+func TestCampaignParallelRaceStress(t *testing.T) {
+	n, err := sim.New(sim.Config{Seed: 11, Days: 10, TargetDailyPeers: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := NewCampaign(n, CampaignConfig{
+				Observers: DefaultObserverFleet(5),
+				StartDay:  0,
+				EndDay:    10,
+				Workers:   8,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ds, err := c.RunContext(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if ds.TotalPeers() == 0 {
+				t.Error("stress campaign observed nothing")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestObserveGridMatchesObserveDay checks the experiment-facing engine
+// primitive against direct ObserveDay calls.
+func TestObserveGridMatchesObserveDay(t *testing.T) {
+	n := parallelTestNet(t)
+	var observers []*sim.Observer
+	for _, cfg := range DefaultObserverFleet(4) {
+		observers = append(observers, n.NewObserver(cfg))
+	}
+	days := []int{3, 7, 12}
+	grid, err := ObserveGrid(context.Background(), observers, days, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o, obs := range observers {
+		for d, day := range days {
+			want := obs.ObserveDay(day)
+			if !reflect.DeepEqual(grid[o][d], want) {
+				t.Errorf("grid[%d][%d] differs from ObserveDay(%d)", o, d, day)
+			}
+		}
+	}
+}
+
+// TestCampaignRunContextCancelled verifies cancellation surfaces the
+// context error on both paths and leaves no partially written snapshot
+// day behind.
+func TestCampaignRunContextCancelled(t *testing.T) {
+	n := parallelTestNet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		dir := t.TempDir()
+		c, err := NewCampaign(n, CampaignConfig{
+			Observers:   DefaultObserverFleet(2),
+			StartDay:    0,
+			EndDay:      5,
+			SnapshotDir: dir,
+			Workers:     workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RunContext(ctx); err != context.Canceled {
+			t.Fatalf("Workers=%d: RunContext error = %v, want context.Canceled", workers, err)
+		}
+		assertNoPartialSnapshots(t, dir)
+	}
+}
+
+// TestSnapshotDaysAtomic runs a snapshotting campaign and checks that
+// only complete, renamed day directories remain — the atomic-write
+// contract Ctrl-C handling in the CLIs relies on.
+func TestSnapshotDaysAtomic(t *testing.T) {
+	n := parallelTestNet(t)
+	dir := t.TempDir()
+	// A stale temp dir from a previous crash must not break the run.
+	if err := os.MkdirAll(filepath.Join(dir, ".day-001.tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCampaign(n, CampaignConfig{
+		Observers:   DefaultObserverFleet(3),
+		StartDay:    0,
+		EndDay:      3,
+		SnapshotDir: dir,
+		Workers:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	assertNoPartialSnapshots(t, dir)
+	for _, day := range []string{"day-000", "day-001", "day-002"} {
+		ents, err := os.ReadDir(filepath.Join(dir, day, "netDb"))
+		if err != nil {
+			t.Fatalf("%s: %v", day, err)
+		}
+		if len(ents) == 0 {
+			t.Errorf("%s: empty netDb snapshot", day)
+		}
+	}
+}
+
+func assertNoPartialSnapshots(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("partial snapshot left behind: %s", e.Name())
+		}
+	}
+}
+
+// BenchmarkCampaignSerial and BenchmarkCampaignParallel are the perf
+// trajectory pair emitted by scripts/bench.sh as BENCH_campaign.json.
+func benchmarkCampaign(b *testing.B, workers int) {
+	n, err := sim.New(sim.Config{Seed: 7, Days: 30, TargetDailyPeers: 3050})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCampaign(n, CampaignConfig{
+			Observers: DefaultObserverFleet(8),
+			StartDay:  0,
+			EndDay:    30,
+			Workers:   workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds, err := c.RunContext(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.TotalPeers() == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
+func BenchmarkCampaignSerial(b *testing.B)   { benchmarkCampaign(b, 1) }
+func BenchmarkCampaignParallel(b *testing.B) { benchmarkCampaign(b, 0) }
+func BenchmarkCampaignParallel4(b *testing.B) {
+	benchmarkCampaign(b, 4)
+}

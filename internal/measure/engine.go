@@ -1,0 +1,109 @@
+package measure
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+)
+
+// resolveWorkers normalizes a worker-count knob: zero or negative selects
+// one worker per available CPU.
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// maxMergeShards bounds the per-day hash-shard fan-out; beyond this the
+// per-shard maps get too small to amortize goroutine overhead.
+const maxMergeShards = 16
+
+// mergeShards returns the hash-shard count for a given worker count.
+func mergeShards(workers int) int {
+	if workers < 1 {
+		return 1
+	}
+	if workers > maxMergeShards {
+		return maxMergeShards
+	}
+	return workers
+}
+
+// fanOut runs fn(i) for every i in [0, n) across a pool of workers,
+// stopping at the first error or context cancellation. Tasks are handed
+// out in index order, so low-indexed work starts first.
+func fanOut(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tasks := make(chan int, n)
+	for i := 0; i < n; i++ {
+		tasks <- i
+	}
+	close(tasks)
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				if cctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// ObserveGrid fans the (observer, day) capture grid across a worker pool
+// and returns grid[o][d], the peer indexes observers[o] saw on days[d].
+// Each ObserveDay draw is deterministic in (observer seed, day), so the
+// grid is identical for any worker count — experiments that fold it
+// sequentially produce the same figures the serial loops did.
+func ObserveGrid(ctx context.Context, observers []*sim.Observer, days []int, workers int) ([][][]int, error) {
+	grid := make([][][]int, len(observers))
+	for i := range grid {
+		grid[i] = make([][]int, len(days))
+	}
+	if len(days) == 0 {
+		return grid, ctx.Err()
+	}
+	err := fanOut(ctx, len(observers)*len(days), resolveWorkers(workers), func(t int) error {
+		o, d := t/len(days), t%len(days)
+		grid[o][d] = observers[o].ObserveDay(days[d])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return grid, nil
+}

@@ -78,6 +78,11 @@ type ObserverConfig struct {
 const MaxSharedKBps = 8192
 
 // Observer is an instantiated measurement router on a network.
+//
+// Observers hold no mutable state: every observation method derives a
+// private RNG from (Seed, day), so calls are idempotent, days can be
+// visited in any order, and one Observer may be driven from many
+// goroutines at once (the parallel campaign engine does exactly that).
 type Observer struct {
 	Cfg ObserverConfig
 	net *Network

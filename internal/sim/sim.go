@@ -106,6 +106,14 @@ const (
 )
 
 // Network is a fully materialized synthetic I2P network.
+//
+// Concurrency contract: a Network is immutable once New returns — every
+// method is a pure read and safe for unbounded concurrent use, and
+// NewObserver only wraps a pointer to the network. The measurement engine
+// (measure.Campaign with Workers > 1, core.Study.RunAll) relies on this:
+// per-(observer, day) captures run on arbitrary goroutines with no
+// locking. Any future mutating API must either copy-on-write or take a
+// network-level lock, and must update this comment.
 type Network struct {
 	cfg   Config
 	model *churn.Model
@@ -448,7 +456,16 @@ func (n *Network) index() {
 	}
 }
 
+// PeerCount returns the number of peers ever materialized in the network.
+// Safe for concurrent use (the peer list is fixed after New).
+func (n *Network) PeerCount() int { return len(n.Peers) }
+
+// Peer returns the peer at index i. The returned Peer must be treated as
+// read-only; it is shared by every goroutine observing the network.
+func (n *Network) Peer(i int) *Peer { return n.Peers[i] }
+
 // ActivePeers returns the indexes of peers online on the given study day.
+// The returned slice is shared and must not be modified by callers.
 func (n *Network) ActivePeers(day int) []int {
 	if day < 0 || day >= len(n.activeByDay) {
 		return nil

@@ -36,6 +36,15 @@ func (c *Counter) Add(key string, n int) {
 // Inc increments key by one.
 func (c *Counter) Inc(key string) { c.Add(key, 1) }
 
+// Merge folds every entry of other into c. Counters merge commutatively,
+// which lets sharded scans aggregate partial counts per worker and
+// combine them afterwards.
+func (c *Counter) Merge(other *Counter) {
+	for k, v := range other.counts {
+		c.Add(k, v)
+	}
+}
+
 // Get returns the count for key (zero if absent).
 func (c *Counter) Get(key string) int { return c.counts[key] }
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench.sh — campaign-engine perf trajectory.
+#
+# Runs the serial and parallel campaign benchmarks and writes
+# BENCH_campaign.json with their ns/op plus the parallel speedup, so CI
+# (and future PRs) can track the engine's scaling over time. Usage:
+#
+#   ./scripts/bench.sh [output.json]
+#
+# The speedup is hardware-relative: ~1.0 on a single core, >= 2x expected
+# at 4 cores (the per-(day, observer) captures are independent).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_campaign.json}"
+benchtime="${BENCHTIME:-3x}"
+
+raw="$(go test ./internal/measure/ -run '^$' \
+  -bench 'BenchmarkCampaign(Serial|Parallel)$' -benchtime="$benchtime")"
+echo "$raw"
+
+serial="$(echo "$raw" | awk '/^BenchmarkCampaignSerial/   {print $3}')"
+parallel="$(echo "$raw" | awk '/^BenchmarkCampaignParallel/ {print $3}')"
+if [ -z "$serial" ] || [ -z "$parallel" ]; then
+  echo "bench.sh: failed to parse benchmark output" >&2
+  exit 1
+fi
+
+cores="$(go env GOMAXPROCS 2>/dev/null || echo 0)"
+[ "$cores" -gt 0 ] 2>/dev/null || cores="$(getconf _NPROCESSORS_ONLN)"
+
+awk -v serial="$serial" -v parallel="$parallel" -v cores="$cores" 'BEGIN {
+  printf "{\n"
+  printf "  \"benchmark\": \"campaign-engine\",\n"
+  printf "  \"serial_ns_per_op\": %d,\n", serial
+  printf "  \"parallel_ns_per_op\": %d,\n", parallel
+  printf "  \"speedup\": %.3f,\n", serial / parallel
+  printf "  \"cores\": %d\n", cores
+  printf "}\n"
+}' > "$out"
+
+echo "wrote $out:"
+cat "$out"
