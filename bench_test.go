@@ -13,12 +13,14 @@
 package i2pstudy_test
 
 import (
+	"context"
 	"net/netip"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/i2pstudy/i2pstudy"
+	"github.com/i2pstudy/i2pstudy/internal/censor"
 	"github.com/i2pstudy/i2pstudy/internal/measure"
 	"github.com/i2pstudy/i2pstudy/internal/netdb"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
@@ -225,6 +227,31 @@ func benchmarkMainCampaign(b *testing.B, workers int) {
 // two is the engine's speedup on this machine (1.0 on a single core).
 func BenchmarkMainCampaign(b *testing.B)         { benchmarkMainCampaign(b, 1) }
 func BenchmarkMainCampaignParallel(b *testing.B) { benchmarkMainCampaign(b, 0) }
+
+// benchmarkAdversarySweep measures the Figure 13 adversary sweep (the
+// censor engine's hot path: 20 monitoring routers x a 30-day blacklist
+// tail of captures, folded into five window series) at the given engine
+// width. In -short mode the shared study is scaled down but the pair
+// still runs, so the CI bench smoke exercises the sweep engine; the
+// focused serial/parallel trajectory pair lives in internal/censor and
+// feeds BENCH_censor.json via scripts/bench.sh.
+func benchmarkAdversarySweep(b *testing.B, workers int) {
+	s := benchStudy(b)
+	day := s.Opts.Days - 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := censor.Figure13Context(context.Background(), s.Net, 20, []int{1, 5, 10, 20, 30}, day, 700, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) != 5 {
+			b.Fatal("wrong series count")
+		}
+	}
+}
+
+func BenchmarkAdversarySweepSerial(b *testing.B)   { benchmarkAdversarySweep(b, 1) }
+func BenchmarkAdversarySweepParallel(b *testing.B) { benchmarkAdversarySweep(b, 0) }
 
 // --- substrate micro-benchmarks ---
 

@@ -23,11 +23,6 @@ import (
 	"github.com/i2pstudy/i2pstudy/internal/core"
 )
 
-var censorshipIDs = []string{
-	"figure-13", "figure-14", "reseed-blocking", "bridge-strategies",
-	"dpi-fingerprinting", "port-blocking", "eclipse-attack",
-}
-
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("i2pcensor: ")
@@ -54,7 +49,9 @@ func main() {
 	fmt.Printf("network: %d daily peers (scale %.2f), %d days, seed %d\n\n",
 		opts.TargetDailyPeers, *scale, opts.Days, opts.Seed)
 
-	ids := censorshipIDs
+	// The experiment set is derived from the registry's category tags, so
+	// newly registered censorship experiments appear here automatically.
+	ids := core.ExperimentIDs(core.CategoryCensorship)
 	if *experiment != "" {
 		ids = []string{*experiment}
 	}

@@ -32,13 +32,12 @@ import (
 	"github.com/i2pstudy/i2pstudy/internal/measure"
 )
 
-// measurementIDs are the Section 5 artifacts this tool owns; censorship
-// experiments live in cmd/i2pcensor.
-var measurementIDs = []string{
-	"figure-02", "figure-03", "figure-04", "figure-05", "figure-06",
-	"figure-07", "figure-08", "figure-09", "table-01", "estimate-floodfill",
-	"figure-10", "figure-11", "figure-12",
-	"ablation-observer-mix", "ablation-flood-fanout",
+// measurementIDs are the Section 5 artifacts plus the ablation studies
+// this tool owns, derived from the registry's category tags; censorship
+// experiments (core.CategoryCensorship) live in cmd/i2pcensor.
+func measurementIDs() []string {
+	return append(core.ExperimentIDs(core.CategoryPopulation),
+		core.ExperimentIDs(core.CategoryAblation)...)
 }
 
 func main() {
@@ -57,7 +56,7 @@ func main() {
 
 	if *list {
 		for _, e := range core.Experiments() {
-			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+			fmt.Printf("%-22s %-11s %s\n", e.ID, e.Category, e.Title)
 		}
 		return
 	}
@@ -83,7 +82,7 @@ func main() {
 		}
 	}
 
-	ids := measurementIDs
+	ids := measurementIDs()
 	if *experiment != "" {
 		ids = []string{*experiment}
 	}

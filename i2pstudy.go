@@ -52,8 +52,19 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // peers over 90 days.
 func FullScaleOptions() Options { return core.FullScaleOptions() }
 
+// Experiment categories; every registered experiment carries one.
+const (
+	CategoryPopulation = core.CategoryPopulation
+	CategoryCensorship = core.CategoryCensorship
+	CategoryAblation   = core.CategoryAblation
+)
+
 // Experiments lists every registered experiment sorted by ID.
 func Experiments() []Experiment { return core.Experiments() }
+
+// ExperimentIDs lists the IDs of experiments in a category (all when
+// empty), sorted.
+func ExperimentIDs(category string) []string { return core.ExperimentIDs(category) }
 
 // Lookup returns the experiment registered under id.
 func Lookup(id string) (Experiment, bool) { return core.Lookup(id) }

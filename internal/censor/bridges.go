@@ -1,6 +1,7 @@
 package censor
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -10,7 +11,10 @@ import (
 // This file implements the Section 7.1 mitigation study: using newly
 // joined peers (which the censor has not yet observed) and firewalled
 // peers (which publish no blockable address) as bridges for users behind
-// the address-blocking firewall.
+// the address-blocking firewall. The censor side — one blacklist per
+// horizon day — runs as cells of an adversary sweep; the bridge selection
+// and survival fold stays serial because it threads one RNG through the
+// strategies in a fixed historical order.
 
 // BridgeStrategy selects the candidate pool for bridge distribution.
 type BridgeStrategy int
@@ -98,6 +102,10 @@ type BridgeConfig struct {
 	IntroducersPerBridge int
 	// Seed drives selection.
 	Seed uint64
+	// Workers caps the engine concurrency for the censor-side captures
+	// and per-day blacklists (<= 0: one worker per CPU). The survival
+	// fold itself is serial and byte-identical for any value.
+	Workers int
 }
 
 // DefaultBridgeConfig returns the configuration used by the bench.
@@ -113,16 +121,49 @@ func DefaultBridgeConfig() BridgeConfig {
 }
 
 // EvaluateBridges runs every strategy against a censor with the given
-// blacklist window and returns one evaluation per strategy.
+// blacklist window and returns one evaluation per strategy. It is the
+// serial-signature wrapper around EvaluateBridgesContext.
 func EvaluateBridges(network *sim.Network, windowDays int, cfg BridgeConfig) ([]BridgeEvaluation, error) {
+	return EvaluateBridgesContext(context.Background(), network, windowDays, cfg)
+}
+
+// EvaluateBridgesContext evaluates the bridge strategies with the
+// censor's per-day blacklists computed as adversary sweep cells across
+// the worker pool.
+func EvaluateBridgesContext(ctx context.Context, network *sim.Network, windowDays int, cfg BridgeConfig) ([]BridgeEvaluation, error) {
 	if cfg.Day+cfg.HorizonDays >= network.Days() {
 		return nil, fmt.Errorf("censor: bridge horizon (day %d + %d) exceeds network days (%d)",
 			cfg.Day, cfg.HorizonDays, network.Days())
 	}
-	cz, err := NewCensor(network, cfg.CensorRouters, windowDays, cfg.Seed+500)
+	days := make([]int, 0, cfg.HorizonDays+1)
+	for d := 0; d <= cfg.HorizonDays; d++ {
+		days = append(days, cfg.Day+d)
+	}
+	sw, err := NewSweep(network, SweepConfig{
+		Fleets:   []int{cfg.CensorRouters},
+		Windows:  []int{windowDays},
+		Days:     days,
+		SeedBase: cfg.Seed + 500,
+		Workers:  cfg.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
+	if err := sw.Capture(ctx); err != nil {
+		return nil, err
+	}
+	// One blocked-peer predicate per horizon day, evaluated as sweep
+	// cells; cells[i].Day == days[i] because fleets and windows are
+	// singleton and Cells() enumerates days outermost.
+	blocked := make([]func(int) bool, cfg.HorizonDays+1)
+	err = sw.Each(ctx, func(i int, cell Cell) error {
+		blocked[i] = sw.BlockedPeerFunc(cell)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xBF58476D1CE4E5B9))
 
 	// Candidate pools at distribution day.
@@ -168,10 +209,9 @@ func EvaluateBridges(network *sim.Network, windowDays int, cfg BridgeConfig) ([]
 
 		for d := 0; d <= cfg.HorizonDays; d++ {
 			day := cfg.Day + d
-			blocked := cz.BlockedPeerFunc(cfg.CensorRouters, day)
 			usable := 0
 			for _, idx := range selected {
-				if bridgeUsable(network, idx, day, blocked, cfg.IntroducersPerBridge, rng) {
+				if bridgeUsable(network, idx, day, blocked[d], cfg.IntroducersPerBridge, rng) {
 					usable++
 				}
 			}

@@ -5,12 +5,21 @@
 // stable victim client is the fraction of peer addresses in the victim's
 // netDb that appear on the blacklist. It also implements the Section 7
 // bridge-selection strategies (newly joined and firewalled peers) proposed
-// as mitigations.
+// as mitigations, and the Section 7.2 eclipse escalation.
+//
+// The heavy lifting runs on two shared substrates: an AddrIndex that
+// interns every address a peer will publish (so blacklists and netDb views
+// are bitsets, not maps), and the Sweep engine that executes declarative
+// (fleet x window x day) grids across the same worker pool — and under the
+// same any-worker-count-is-byte-identical determinism contract — as
+// measure.ObserveGrid.
 package censor
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
+	"sync"
 
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 	"github.com/i2pstudy/i2pstudy/internal/stats"
@@ -21,10 +30,15 @@ import (
 type Censor struct {
 	net       *sim.Network
 	observers []*sim.Observer
+	ix        *AddrIndex
 	// WindowDays is the blacklist time window: an address stays blocked
 	// for this many days after last being observed (the paper evaluates
 	// 1, 5, 10, 20 and 30 days).
 	WindowDays int
+
+	// obsIDs memoizes observedIDs per (router, day); sweep cells revisit
+	// the same captures across windows and fleet prefixes.
+	obsIDs sync.Map // uint64(router)<<32 | uint64(uint32(day)) -> []int32
 }
 
 // NewCensor creates a censor running `routers` monitoring routers, split
@@ -37,7 +51,7 @@ func NewCensor(network *sim.Network, routers, windowDays int, seedBase uint64) (
 	if windowDays <= 0 {
 		windowDays = 1
 	}
-	c := &Censor{net: network, WindowDays: windowDays}
+	c := &Censor{net: network, ix: indexFor(network), WindowDays: windowDays}
 	for i := 0; i < routers; i++ {
 		c.observers = append(c.observers, network.NewObserver(sim.ObserverConfig{
 			Name:       fmt.Sprintf("censor-%02d", i),
@@ -52,52 +66,65 @@ func NewCensor(network *sim.Network, routers, windowDays int, seedBase uint64) (
 // Routers returns the number of monitoring routers.
 func (c *Censor) Routers() int { return len(c.observers) }
 
-// addObservedIPs adds to `out` the IPv4/IPv6 addresses of peers observed
-// by one monitoring router on one day. Peers without published addresses
+// observedIDs returns the interned address IDs of peers observed by one
+// monitoring router on one day. Peers without published addresses
 // (firewalled, hidden) contribute nothing — they cannot be address-blocked
-// (Section 7.1).
-func (c *Censor) addObservedIPs(out map[netip.Addr]bool, router, day int) {
-	o := c.observers[router]
-	for _, idx := range o.ObserveDay(day) {
-		p := c.net.Peers[idx]
-		v4, v6 := p.AddrOnDay(day)
-		if p.Status == sim.StatusKnownIP && v4.IsValid() {
-			out[v4] = true
-			if v6.IsValid() {
-				out[v6] = true
-			}
+// (Section 7.1). The result is memoized and must not be modified.
+func (c *Censor) observedIDs(router, day int) []int32 {
+	key := uint64(router)<<32 | uint64(uint32(day))
+	if v, ok := c.obsIDs.Load(key); ok {
+		return v.([]int32)
+	}
+	var out []int32
+	for _, idx := range c.observers[router].ObserveDay(day) {
+		if c.net.Peers[idx].Status != sim.StatusKnownIP {
+			continue
+		}
+		v4, v6 := c.ix.PeerIDs(idx, day)
+		if v4 < 0 {
+			continue
+		}
+		out = append(out, v4)
+		if v6 >= 0 {
+			out = append(out, v6)
 		}
 	}
+	v, _ := c.obsIDs.LoadOrStore(key, out)
+	return v.([]int32)
 }
 
-// observedIPs returns the addresses observed by the first k monitoring
-// routers on one day.
-func (c *Censor) observedIPs(k, day int) map[netip.Addr]bool {
-	out := make(map[netip.Addr]bool)
+// blacklistSet compiles the blacklist in force on `day` using the first k
+// monitoring routers and the given window: the union of addresses
+// observed in (day-window, day], as a set over the address index.
+func (c *Censor) blacklistSet(k, window, day int) *AddrSet {
 	if k > len(c.observers) {
 		k = len(c.observers)
 	}
-	for i := 0; i < k; i++ {
-		c.addObservedIPs(out, i, day)
+	set := c.ix.NewSet()
+	start := day - window + 1
+	if start < 0 {
+		start = 0
 	}
-	return out
+	for r := 0; r < k; r++ {
+		for d := start; d <= day; d++ {
+			set.AddAll(c.observedIDs(r, d))
+		}
+	}
+	return set
 }
 
 // BlacklistAt compiles the blacklist in force on `day` using the first k
 // monitoring routers: the union of addresses observed in the window
-// (day-WindowDays, day].
+// (day-WindowDays, day]. The map is materialized from the internal
+// address-index set for external callers; hot paths (BlockingRate,
+// BlockedPeerFunc, the sweeps) stay on the set representation.
 func (c *Censor) BlacklistAt(k, day int) map[netip.Addr]bool {
-	bl := make(map[netip.Addr]bool)
-	start := day - c.WindowDays + 1
-	if start < 0 {
-		start = 0
-	}
-	for d := start; d <= day; d++ {
-		for ip := range c.observedIPs(k, d) {
-			bl[ip] = true
-		}
-	}
-	return bl
+	set := c.blacklistSet(k, c.WindowDays, day)
+	out := make(map[netip.Addr]bool, set.Len())
+	set.ForEach(func(id int32) {
+		out[c.ix.Addr(id)] = true
+	})
+	return out
 }
 
 // Victim models the client the censor wants to cut off: "a long-term I2P
@@ -107,6 +134,7 @@ func (c *Censor) BlacklistAt(k, day int) map[netip.Addr]bool {
 type Victim struct {
 	net *sim.Network
 	obs *sim.Observer
+	ix  *AddrIndex
 	// NetDbWindowDays is how many trailing days of observations remain in
 	// the victim's netDb. Non-floodfill routers expire RouterInfos after a
 	// day (netdb.DefaultRouterInfoExpiry) but keep records on disk across
@@ -129,6 +157,7 @@ func NewVictim(network *sim.Network, seed uint64) *Victim {
 			SharedKBps: 512,
 			Seed:       seed,
 		}),
+		ix:              indexFor(network),
 		NetDbWindowDays: 2,
 	}
 }
@@ -143,12 +172,13 @@ func retainStale(idx, d int) bool {
 	return x%2 == 0
 }
 
-// KnownAddresses returns the peer addresses in the victim's netDb on
-// `day`: for every peer observed within the netDb window (today fully,
-// earlier days subject to expiry), the address the peer published on the
-// observation day.
-func (v *Victim) KnownAddresses(day int) map[netip.Addr]bool {
-	out := make(map[netip.Addr]bool)
+// addrSet returns the victim's known peer addresses on `day` as a set
+// over the address index — KnownAddresses without the map
+// materialization: for every peer observed within the netDb window (today
+// fully, earlier days subject to expiry), the address the peer published
+// on the observation day.
+func (v *Victim) addrSet(day int) *AddrSet {
+	set := v.ix.NewSet()
 	start := day - v.NetDbWindowDays + 1
 	if start < 0 {
 		start = 0
@@ -158,19 +188,25 @@ func (v *Victim) KnownAddresses(day int) map[netip.Addr]bool {
 			if d < day && !retainStale(idx, d) {
 				continue
 			}
-			p := v.net.Peers[idx]
-			if p.Status != sim.StatusKnownIP {
+			if v.net.Peers[idx].Status != sim.StatusKnownIP {
 				continue
 			}
-			v4, v6 := p.AddrOnDay(d)
-			if v4.IsValid() {
-				out[v4] = true
-			}
-			if v6.IsValid() {
-				out[v6] = true
-			}
+			v4, v6 := v.ix.PeerIDs(idx, d)
+			set.Add(v4)
+			set.Add(v6)
 		}
 	}
+	return set
+}
+
+// KnownAddresses returns the peer addresses in the victim's netDb on
+// `day`, materialized as a map for external callers (see addrSet).
+func (v *Victim) KnownAddresses(day int) map[netip.Addr]bool {
+	set := v.addrSet(day)
+	out := make(map[netip.Addr]bool, set.Len())
+	set.ForEach(func(id int32) {
+		out[v.ix.Addr(id)] = true
+	})
 	return out
 }
 
@@ -200,83 +236,83 @@ func (v *Victim) KnownPeers(day int) []int {
 // BlockingRate computes the Section 6.2.1 metric on `day` with the first k
 // censor routers: "the rate of peer IP addresses seen in the netDb of the
 // victim, which can also be found in the netDb of routers that are
-// controlled by the censor".
+// controlled by the censor". The censor and victim must share a network.
 func BlockingRate(c *Censor, v *Victim, k, day int) float64 {
-	victimIPs := v.KnownAddresses(day)
-	if len(victimIPs) == 0 {
+	vic := v.addrSet(day)
+	if vic.Len() == 0 {
 		return 0
 	}
-	blacklist := c.BlacklistAt(k, day)
-	blocked := 0
-	for ip := range victimIPs {
-		if blacklist[ip] {
-			blocked++
-		}
-	}
-	return float64(blocked) / float64(len(victimIPs))
+	bl := c.blacklistSet(k, c.WindowDays, day)
+	return float64(bl.IntersectCount(vic)) / float64(vic.Len())
 }
 
 // BlockedPeerFunc returns a predicate over peer indexes: whether the
 // peer's current address is on the blacklist on `day`. Peers without
 // addresses are never blocked.
 func (c *Censor) BlockedPeerFunc(k, day int) func(peerIdx int) bool {
-	blacklist := c.BlacklistAt(k, day)
+	return c.blockedPeerFunc(k, c.WindowDays, day)
+}
+
+// blockedPeerFunc is BlockedPeerFunc with an explicit window (the sweep
+// engine evaluates several windows against one censor fleet).
+func (c *Censor) blockedPeerFunc(k, window, day int) func(peerIdx int) bool {
+	set := c.blacklistSet(k, window, day)
+	ix := c.ix
 	return func(idx int) bool {
-		p := c.net.Peers[idx]
-		v4, v6 := p.AddrOnDay(day)
-		if v4.IsValid() && blacklist[v4] {
-			return true
-		}
-		if v6.IsValid() && blacklist[v6] {
-			return true
-		}
-		return false
+		v4, v6 := ix.PeerIDs(idx, day)
+		return set.Has(v4) || set.Has(v6)
 	}
 }
 
 // Figure13 sweeps censor fleet sizes and blacklist windows, producing one
 // series per window, each giving the cumulative blocking rate (percent)
-// versus the number of monitoring routers — the paper's Figure 13.
+// versus the number of monitoring routers — the paper's Figure 13. It is
+// the serial-signature wrapper around Figure13Context.
 func Figure13(network *sim.Network, maxRouters int, windows []int, day int, seedBase uint64) (*stats.Figure, error) {
+	return Figure13Context(context.Background(), network, maxRouters, windows, day, seedBase, 0)
+}
+
+// Figure13Context runs the Figure 13 sweep on the adversary engine: one
+// censor fleet and one victim are built once and shared by every window
+// series (observers are deterministic in (seed, day), so reuse never
+// changes a draw); captures warm through the parallel engine; each window
+// cell folds an incremental blacklist union over fleet prefixes. Any
+// workers value yields a byte-identical figure.
+func Figure13Context(ctx context.Context, network *sim.Network, maxRouters int, windows []int, day int, seedBase uint64, workers int) (*stats.Figure, error) {
 	if len(windows) == 0 {
 		windows = []int{1, 5, 10, 20, 30}
+	}
+	sw, err := NewSweep(network, SweepConfig{
+		Fleets:   []int{maxRouters},
+		Windows:  windows,
+		Days:     []int{day},
+		SeedBase: seedBase,
+		Workers:  workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.Capture(ctx); err != nil {
+		return nil, err
+	}
+	cells := sw.Cells()
+	series := make([][]float64, len(cells))
+	err = sw.Each(ctx, func(i int, cell Cell) error {
+		series[i] = sw.BlockingSeries(cell.Window, cell.Day, cell.Fleet)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fig := &stats.Figure{
 		Title:  "Figure 13: Blocking rates under different blacklist time windows",
 		XLabel: "routers under censor control",
 		YLabel: "blocking rate (%)",
 	}
-	victim := NewVictim(network, seedBase+10_000)
-	victimIPs := victim.KnownAddresses(day)
-	for _, w := range windows {
-		c, err := NewCensor(network, maxRouters, w, seedBase)
-		if err != nil {
-			return nil, err
-		}
-		s := fig.AddSeries(fmt.Sprintf("%d day", w))
-		// Build the blacklist incrementally: adding router k extends the
-		// union, so the whole series costs one pass per router per window
-		// day instead of re-scanning for every fleet size.
-		start := day - w + 1
-		if start < 0 {
-			start = 0
-		}
-		bl := make(map[netip.Addr]bool)
-		for k := 1; k <= maxRouters; k++ {
-			for d := start; d <= day; d++ {
-				c.addObservedIPs(bl, k-1, d)
-			}
-			blocked := 0
-			for ip := range victimIPs {
-				if bl[ip] {
-					blocked++
-				}
-			}
-			rate := 0.0
-			if len(victimIPs) > 0 {
-				rate = float64(blocked) / float64(len(victimIPs))
-			}
-			s.Append(float64(k), 100*rate)
+	for i, cell := range cells {
+		s := fig.AddSeries(fmt.Sprintf("%d day", cell.Window))
+		for k, rate := range series[i] {
+			s.Append(float64(k+1), 100*rate)
 		}
 	}
 	return fig, nil

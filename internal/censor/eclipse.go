@@ -1,6 +1,7 @@
 package censor
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/i2pstudy/i2pstudy/internal/sim"
@@ -12,7 +13,9 @@ import (
 // malicious routers ... the victim is bootstrapped into the attacker's
 // network", the stepping stone to traffic-analysis deanonymization. The
 // experiment measures how much of the victim's *usable* view the attacker
-// controls as blocking tightens.
+// controls as blocking tightens. Fleet sizes are cells of an adversary
+// sweep: one shared censor fleet at the maximum size, each cell folding
+// its own blacklist prefix.
 
 // EclipseResult reports one eclipse evaluation.
 type EclipseResult struct {
@@ -32,24 +35,15 @@ type EclipseResult struct {
 	TunnelCompromiseP2 float64
 }
 
-// EclipseAttack evaluates the Section 7.2 scenario on one day: the censor
-// runs `censorRouters` monitors with the given blacklist window, blocks
-// every observed peer address, and injects `injected` attacker routers
-// that its firewall whitelists. The victim can only use unblocked peers,
-// so the attacker's share of its usable view grows with the blocking rate.
-func EclipseAttack(network *sim.Network, censorRouters, windowDays, injected, day int, seed uint64) (EclipseResult, error) {
-	cz, err := NewCensor(network, censorRouters, windowDays, seed)
-	if err != nil {
-		return EclipseResult{}, err
-	}
-	victim := NewVictim(network, seed+10_000)
-	blocked := cz.BlockedPeerFunc(censorRouters, day)
-
+// eclipseCell evaluates the Section 7.2 scenario for one sweep cell: the
+// censor blocks every observed peer address, and `injected` whitelisted
+// attacker routers join the victim's usable view.
+func (s *Sweep) eclipseCell(cell Cell, injected int) EclipseResult {
+	blocked := s.BlockedPeerFunc(cell)
 	usableHonest := 0
-	for _, idx := range victim.KnownPeers(day) {
-		p := network.Peers[idx]
+	for _, idx := range s.Victim.KnownPeers(cell.Day) {
 		// Only peers with contactable addresses matter for tunnels.
-		if p.Status != sim.StatusKnownIP {
+		if s.Net.Peers[idx].Status != sim.StatusKnownIP {
 			continue
 		}
 		if !blocked(idx) {
@@ -58,7 +52,7 @@ func EclipseAttack(network *sim.Network, censorRouters, windowDays, injected, da
 	}
 	usable := usableHonest + injected
 	res := EclipseResult{
-		CensorRouters: censorRouters,
+		CensorRouters: cell.Fleet,
 		Injected:      injected,
 		UsablePeers:   usable,
 	}
@@ -66,12 +60,60 @@ func EclipseAttack(network *sim.Network, censorRouters, windowDays, injected, da
 		res.AttackerShare = float64(injected) / float64(usable)
 		res.TunnelCompromiseP2 = res.AttackerShare * res.AttackerShare
 	}
-	return res, nil
+	return res
+}
+
+// EclipseAttack evaluates the Section 7.2 scenario on one day: the censor
+// runs `censorRouters` monitors with the given blacklist window, blocks
+// every observed peer address, and injects `injected` attacker routers
+// that its firewall whitelists. The victim can only use unblocked peers,
+// so the attacker's share of its usable view grows with the blocking rate.
+func EclipseAttack(network *sim.Network, censorRouters, windowDays, injected, day int, seed uint64) (EclipseResult, error) {
+	sw, err := NewSweep(network, SweepConfig{
+		Fleets:   []int{censorRouters},
+		Windows:  []int{windowDays},
+		Days:     []int{day},
+		SeedBase: seed,
+	})
+	if err != nil {
+		return EclipseResult{}, err
+	}
+	return sw.eclipseCell(sw.Cells()[0], injected), nil
 }
 
 // EclipseSweep evaluates the attack across censor fleet sizes, producing
-// the attacker-share curve.
+// the attacker-share curve. It is the serial-signature wrapper around
+// EclipseSweepContext.
 func EclipseSweep(network *sim.Network, fleets []int, windowDays, injected, day int, seed uint64) (*stats.Figure, []EclipseResult, error) {
+	return EclipseSweepContext(context.Background(), network, fleets, windowDays, injected, day, seed, 0)
+}
+
+// EclipseSweepContext runs the eclipse sweep on the adversary engine: the
+// fleet is built once at max(fleets), cells fan out across the worker
+// pool, and the figure folds in fleet order — byte-identical for any
+// workers value.
+func EclipseSweepContext(ctx context.Context, network *sim.Network, fleets []int, windowDays, injected, day int, seed uint64, workers int) (*stats.Figure, []EclipseResult, error) {
+	sw, err := NewSweep(network, SweepConfig{
+		Fleets:   fleets,
+		Windows:  []int{windowDays},
+		Days:     []int{day},
+		SeedBase: seed,
+		Workers:  workers,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sw.Capture(ctx); err != nil {
+		return nil, nil, err
+	}
+	results := make([]EclipseResult, len(fleets))
+	err = sw.Each(ctx, func(i int, cell Cell) error {
+		results[i] = sw.eclipseCell(cell, injected)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	fig := &stats.Figure{
 		Title:  "Section 7.2: attacker share of the victim's usable view",
 		XLabel: "censor routers",
@@ -79,15 +121,9 @@ func EclipseSweep(network *sim.Network, fleets []int, windowDays, injected, day 
 	}
 	shareS := fig.AddSeries("attacker share")
 	compS := fig.AddSeries("P(both direct contacts malicious)")
-	var results []EclipseResult
-	for _, k := range fleets {
-		res, err := EclipseAttack(network, k, windowDays, injected, day, seed)
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
-		shareS.Append(float64(k), res.AttackerShare)
-		compS.Append(float64(k), res.TunnelCompromiseP2)
+	for _, res := range results {
+		shareS.Append(float64(res.CensorRouters), res.AttackerShare)
+		compS.Append(float64(res.CensorRouters), res.TunnelCompromiseP2)
 	}
 	return fig, results, nil
 }

@@ -1,0 +1,176 @@
+package censor
+
+import (
+	"math/bits"
+	"net/netip"
+	"sync"
+
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+)
+
+// AddrIndex interns every public address any peer publishes during the
+// study into a dense ID table, built in one pass over the peers' address
+// schedules. Blacklists, victim netDb views and blocking rates then become
+// bitset operations over small integers instead of map[netip.Addr]bool
+// rebuilds — the allocation hot spot of the original Section 6 sweeps.
+//
+// An AddrIndex is immutable after NewAddrIndex returns and safe for
+// unbounded concurrent use, matching sim.Network's concurrency contract.
+type AddrIndex struct {
+	// addrs maps ID -> address (the reverse of the intern table).
+	addrs []netip.Addr
+	// segs holds, per peer index, the FromDay-ordered schedule with
+	// interned address IDs; nil for peers that never publish an address.
+	segs [][]idSeg
+}
+
+// idSeg is one interned segment of a peer's address schedule. IDs are -1
+// when the peer publishes no such address in the segment.
+type idSeg struct {
+	fromDay int
+	v4, v6  int32
+}
+
+// NewAddrIndex builds the index for a network.
+func NewAddrIndex(n *sim.Network) *AddrIndex {
+	ix := &AddrIndex{segs: make([][]idSeg, len(n.Peers))}
+	ids := make(map[netip.Addr]int32)
+	intern := func(a netip.Addr) int32 {
+		if !a.IsValid() {
+			return -1
+		}
+		if id, ok := ids[a]; ok {
+			return id
+		}
+		id := int32(len(ix.addrs))
+		ids[a] = id
+		ix.addrs = append(ix.addrs, a)
+		return id
+	}
+	for i, p := range n.Peers {
+		if p.Status != sim.StatusKnownIP {
+			continue
+		}
+		sched := p.AddrSchedule()
+		if len(sched) == 0 {
+			continue
+		}
+		segs := make([]idSeg, len(sched))
+		for j, seg := range sched {
+			segs[j] = idSeg{fromDay: seg.FromDay, v4: intern(seg.V4), v6: intern(seg.V6)}
+		}
+		ix.segs[i] = segs
+	}
+	return ix
+}
+
+// NumAddrs returns the size of the interned address table.
+func (ix *AddrIndex) NumAddrs() int { return len(ix.addrs) }
+
+// Addr returns the address behind an ID.
+func (ix *AddrIndex) Addr(id int32) netip.Addr { return ix.addrs[id] }
+
+// PeerIDs returns the IDs of the addresses peer idx publishes on day, or
+// -1 where absent. It mirrors Peer.AddrOnDay exactly, including the edge
+// case that days before the first segment report the first segment's
+// addresses.
+func (ix *AddrIndex) PeerIDs(idx, day int) (v4, v6 int32) {
+	segs := ix.segs[idx]
+	if len(segs) == 0 {
+		return -1, -1
+	}
+	cur := segs[0]
+	for _, seg := range segs[1:] {
+		if seg.fromDay > day {
+			break
+		}
+		cur = seg
+	}
+	return cur.v4, cur.v6
+}
+
+// AddrSet is a bitset over an AddrIndex's address table with a cardinality
+// counter — the allocation-free replacement for map[netip.Addr]bool in the
+// blacklist and victim-netDb paths. The zero value is not usable; obtain
+// sets from AddrIndex.NewSet. AddrSets are not safe for concurrent
+// mutation; sweep cells each build their own.
+type AddrSet struct {
+	words []uint64
+	count int
+}
+
+// NewSet returns an empty set sized for the index's address table.
+func (ix *AddrIndex) NewSet() *AddrSet {
+	return &AddrSet{words: make([]uint64, (len(ix.addrs)+63)/64)}
+}
+
+// Add inserts id and reports whether it was newly added. Negative IDs
+// (absent addresses) are ignored.
+func (s *AddrSet) Add(id int32) bool {
+	if id < 0 {
+		return false
+	}
+	w, b := id>>6, uint64(1)<<(id&63)
+	if s.words[w]&b != 0 {
+		return false
+	}
+	s.words[w] |= b
+	s.count++
+	return true
+}
+
+// AddAll unions ids into the set.
+func (s *AddrSet) AddAll(ids []int32) {
+	for _, id := range ids {
+		s.Add(id)
+	}
+}
+
+// Has reports membership; negative IDs are never members.
+func (s *AddrSet) Has(id int32) bool {
+	return id >= 0 && s.words[id>>6]&(uint64(1)<<(id&63)) != 0
+}
+
+// Len returns the number of addresses in the set.
+func (s *AddrSet) Len() int { return s.count }
+
+// IntersectCount returns |s ∩ t| for two sets over the same index.
+func (s *AddrSet) IntersectCount(t *AddrSet) int {
+	n := 0
+	for i, w := range s.words {
+		n += bits.OnesCount64(w & t.words[i])
+	}
+	return n
+}
+
+// ForEach calls fn for every ID in the set in ascending order.
+func (s *AddrSet) ForEach(fn func(id int32)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(int32(wi<<6 + b))
+			w &^= 1 << b
+		}
+	}
+}
+
+// indexCache shares one AddrIndex per network across every censor, victim
+// and sweep built on it: the censorship experiments run concurrently on
+// one study network (core.Study.RunAll) and must not each re-intern the
+// address table. Entries pin their network for the process lifetime, which
+// is fine for the handful of long-lived networks a process builds.
+var indexCache sync.Map // *sim.Network -> *indexOnce
+
+type indexOnce struct {
+	once sync.Once
+	ix   *AddrIndex
+}
+
+// indexFor returns the network's shared address index, building it at
+// most once per network.
+func indexFor(n *sim.Network) *AddrIndex {
+	v, _ := indexCache.LoadOrStore(n, &indexOnce{})
+	e := v.(*indexOnce)
+	e.once.Do(func() { e.ix = NewAddrIndex(n) })
+	return e.ix
+}

@@ -1,0 +1,165 @@
+package censor
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+)
+
+// TestAddrIndexMatchesAddrOnDay: the interned per-(peer, day) IDs resolve
+// to exactly the addresses AddrOnDay reports, for every peer and day.
+func TestAddrIndexMatchesAddrOnDay(t *testing.T) {
+	n := network(t)
+	ix := NewAddrIndex(n)
+	if ix.NumAddrs() == 0 {
+		t.Fatal("empty address table")
+	}
+	for _, p := range n.Peers {
+		for day := 0; day < n.Days(); day += 3 {
+			v4, v6 := p.AddrOnDay(day)
+			id4, id6 := ix.PeerIDs(p.Index, day)
+			if p.Status != sim.StatusKnownIP {
+				if id4 >= 0 || id6 >= 0 {
+					t.Fatalf("peer %d: unknown-IP peer has interned addresses", p.Index)
+				}
+				continue
+			}
+			check := func(id int32, addr netip.Addr) {
+				t.Helper()
+				if (id >= 0) != addr.IsValid() {
+					t.Fatalf("peer %d day %d: id %d vs addr %v validity mismatch", p.Index, day, id, addr)
+				}
+				if id >= 0 && ix.Addr(id) != addr {
+					t.Fatalf("peer %d day %d: id resolves to %v, want %v", p.Index, day, ix.Addr(id), addr)
+				}
+			}
+			check(id4, v4)
+			check(id6, v6)
+		}
+	}
+}
+
+func TestAddrSetOps(t *testing.T) {
+	n := network(t)
+	ix := indexFor(n)
+	s := ix.NewSet()
+	if s.Len() != 0 || s.Has(0) {
+		t.Fatal("fresh set not empty")
+	}
+	if s.Add(-1) {
+		t.Fatal("negative ID accepted")
+	}
+	if !s.Add(3) || s.Add(3) {
+		t.Fatal("Add must report first insertion only")
+	}
+	s.AddAll([]int32{3, 5, 70, -1})
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	for _, id := range []int32{3, 5, 70} {
+		if !s.Has(id) {
+			t.Fatalf("missing id %d", id)
+		}
+	}
+	if s.Has(-1) || s.Has(4) {
+		t.Fatal("spurious membership")
+	}
+	other := ix.NewSet()
+	other.AddAll([]int32{5, 70, 99})
+	if got := s.IntersectCount(other); got != 2 {
+		t.Fatalf("intersect = %d, want 2", got)
+	}
+	var got []int32
+	s.ForEach(func(id int32) { got = append(got, id) })
+	if len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 70 {
+		t.Fatalf("ForEach order = %v", got)
+	}
+}
+
+// TestIndexSharedPerNetwork: every censor and victim on one network uses
+// one interned table.
+func TestIndexSharedPerNetwork(t *testing.T) {
+	n := network(t)
+	c, err := NewCensor(n, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVictim(n, 2)
+	if c.ix != v.ix || c.ix != indexFor(n) {
+		t.Fatal("censor and victim do not share the per-network index")
+	}
+}
+
+// TestBlacklistAtMatchesMapReference rebuilds the blacklist the
+// pre-index way — per-day address maps unioned over routers and windows —
+// and checks the set-backed BlacklistAt returns exactly that map.
+func TestBlacklistAtMatchesMapReference(t *testing.T) {
+	n := network(t)
+	c, err := NewCensor(n, 6, 4, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day, k := 15, 5
+	ref := make(map[netip.Addr]bool)
+	for r := 0; r < k; r++ {
+		for d := day - c.WindowDays + 1; d <= day; d++ {
+			for _, idx := range c.observers[r].ObserveDay(d) {
+				p := n.Peers[idx]
+				v4, v6 := p.AddrOnDay(d)
+				if p.Status == sim.StatusKnownIP && v4.IsValid() {
+					ref[v4] = true
+					if v6.IsValid() {
+						ref[v6] = true
+					}
+				}
+			}
+		}
+	}
+	got := c.BlacklistAt(k, day)
+	if len(got) != len(ref) {
+		t.Fatalf("blacklist size = %d, want %d", len(got), len(ref))
+	}
+	for ip := range ref {
+		if !got[ip] {
+			t.Fatalf("missing %v", ip)
+		}
+	}
+}
+
+// TestKnownAddressesMatchesReference replays the pre-index victim netDb
+// fold (observation-day addresses, stale retention) against the
+// index-backed KnownAddresses.
+func TestKnownAddressesMatchesReference(t *testing.T) {
+	n := network(t)
+	v := NewVictim(n, 99)
+	day := 15
+	ref := make(map[netip.Addr]bool)
+	for d := day - v.NetDbWindowDays + 1; d <= day; d++ {
+		for _, idx := range v.obs.ObserveDay(d) {
+			if d < day && !retainStale(idx, d) {
+				continue
+			}
+			p := n.Peers[idx]
+			if p.Status != sim.StatusKnownIP {
+				continue
+			}
+			v4, v6 := p.AddrOnDay(d)
+			if v4.IsValid() {
+				ref[v4] = true
+			}
+			if v6.IsValid() {
+				ref[v6] = true
+			}
+		}
+	}
+	got := v.KnownAddresses(day)
+	if len(got) != len(ref) {
+		t.Fatalf("netDb size = %d, want %d", len(got), len(ref))
+	}
+	for ip := range ref {
+		if !got[ip] {
+			t.Fatalf("missing %v", ip)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package censor
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/i2pstudy/i2pstudy/internal/measure"
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+)
+
+// This file is the adversary sweep engine: the Section 6–7 experiments
+// (Figure 13 blocking rates, the eclipse escalation, the bridge-strategy
+// survival curves) are declarative grids of (fleet size x blacklist window
+// x day) cells over one shared adversary — a censor fleet built once at
+// the maximum size, a victim, and the network's address index. Captures
+// and cell evaluations fan out across the same worker pool as
+// measure.ObserveGrid and inherit its determinism contract: every cell
+// writes into a slot indexed by its grid position, observations are
+// deterministic in (observer seed, day), and folds run in grid order — so
+// any Workers value yields byte-identical figures.
+
+// SweepConfig declares an adversary sweep grid.
+type SweepConfig struct {
+	// Fleets lists the monitoring-fleet sizes the sweep evaluates. The
+	// engine builds max(Fleets) observers once; a cell with fleet k uses
+	// the first k (observer draws are deterministic per (seed, day), so
+	// sharing the fleet across cells never changes a result).
+	Fleets []int
+	// Windows lists the blacklist time windows in days.
+	Windows []int
+	// Days lists the evaluation days.
+	Days []int
+	// SeedBase seeds the fleet: monitoring router i draws from SeedBase+i
+	// and the victim from SeedBase+10_000 (the historical layout, so
+	// sweeps reproduce the pre-engine experiments bit for bit).
+	SeedBase uint64
+	// Workers caps engine concurrency: <= 0 selects one worker per CPU,
+	// 1 the serial reference path. Results are identical either way.
+	Workers int
+}
+
+// Cell is one point of the sweep grid.
+type Cell struct {
+	// Fleet is the number of monitoring routers under censor control.
+	Fleet int
+	// Window is the blacklist time window in days.
+	Window int
+	// Day is the evaluation day.
+	Day int
+}
+
+// Sweep binds a grid to a network with the adversary built once: the
+// shared censor fleet, the victim, and the network's address index.
+type Sweep struct {
+	Net    *sim.Network
+	Cfg    SweepConfig
+	Censor *Censor
+	Victim *Victim
+}
+
+// NewSweep validates the grid and builds the shared adversary.
+// Non-positive windows are normalized to one day, matching NewCensor's
+// WindowDays clamp.
+func NewSweep(network *sim.Network, cfg SweepConfig) (*Sweep, error) {
+	if len(cfg.Fleets) == 0 || len(cfg.Windows) == 0 || len(cfg.Days) == 0 {
+		return nil, fmt.Errorf("censor: sweep needs at least one fleet size, window and day")
+	}
+	maxFleet := 0
+	for _, k := range cfg.Fleets {
+		if k > maxFleet {
+			maxFleet = k
+		}
+		if k <= 0 {
+			return nil, fmt.Errorf("censor: need at least one monitoring router")
+		}
+	}
+	windows := make([]int, len(cfg.Windows))
+	maxWindow := 0
+	for i, w := range cfg.Windows {
+		if w <= 0 {
+			w = 1
+		}
+		windows[i] = w
+		if w > maxWindow {
+			maxWindow = w
+		}
+	}
+	cfg.Windows = windows
+	c, err := NewCensor(network, maxFleet, maxWindow, cfg.SeedBase)
+	if err != nil {
+		return nil, err
+	}
+	return &Sweep{
+		Net:    network,
+		Cfg:    cfg,
+		Censor: c,
+		Victim: NewVictim(network, cfg.SeedBase+10_000),
+	}, nil
+}
+
+// Cells enumerates the grid in deterministic order: days outermost, then
+// windows, then fleets, each in configured order. Each() hands cells to
+// workers with their position in this order, so callers can preallocate
+// result slots per cell.
+func (s *Sweep) Cells() []Cell {
+	out := make([]Cell, 0, len(s.Cfg.Days)*len(s.Cfg.Windows)*len(s.Cfg.Fleets))
+	for _, day := range s.Cfg.Days {
+		for _, w := range s.Cfg.Windows {
+			for _, k := range s.Cfg.Fleets {
+				out = append(out, Cell{Fleet: k, Window: w, Day: day})
+			}
+		}
+	}
+	return out
+}
+
+// windowUnionDays returns the sorted union of (day-window, day] over the
+// given evaluation days, clipped at study start — the days a sliding
+// window of the given width touches.
+func windowUnionDays(days []int, window int) []int {
+	seen := make(map[int]bool)
+	for _, day := range days {
+		start := day - window + 1
+		if start < 0 {
+			start = 0
+		}
+		for d := start; d <= day; d++ {
+			seen[d] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// captureDays returns every day any cell's blacklist window reaches back
+// to.
+func (s *Sweep) captureDays() []int {
+	maxWindow := 1
+	for _, w := range s.Cfg.Windows {
+		if w > maxWindow {
+			maxWindow = w
+		}
+	}
+	return windowUnionDays(s.Cfg.Days, maxWindow)
+}
+
+// Capture warms every (router, day) observation the sweep's cells will
+// fold, through the same worker pool as the measurement campaigns. It is
+// optional — cells compute lazily — but without it the first cells on
+// each grid row pay for captures serially.
+func (s *Sweep) Capture(ctx context.Context) error {
+	days := s.captureDays()
+	if _, err := measure.ObserveGrid(ctx, s.Censor.observers, days, s.Cfg.Workers); err != nil {
+		return err
+	}
+	// The victim's netDb reaches NetDbWindowDays-1 days behind each
+	// evaluation day.
+	vdays := windowUnionDays(s.Cfg.Days, s.Victim.NetDbWindowDays)
+	_, err := measure.ObserveGrid(ctx, []*sim.Observer{s.Victim.obs}, vdays, s.Cfg.Workers)
+	return err
+}
+
+// Each evaluates fn for every cell across the worker pool. fn receives
+// the cell's position in Cells() order so callers write results into
+// preallocated slots — the determinism contract of measure.ObserveGrid
+// applied to whole adversary cells. The first error (or ctx cancellation)
+// cancels the remaining cells.
+func (s *Sweep) Each(ctx context.Context, fn func(i int, cell Cell) error) error {
+	cells := s.Cells()
+	return measure.FanOut(ctx, len(cells), s.Cfg.Workers, func(i int) error {
+		return fn(i, cells[i])
+	})
+}
+
+// Blacklist returns the cell's blacklist as a set over the network's
+// address index.
+func (s *Sweep) Blacklist(cell Cell) *AddrSet {
+	return s.Censor.blacklistSet(cell.Fleet, cell.Window, cell.Day)
+}
+
+// BlockedPeerFunc returns the cell's peer-blocking predicate.
+func (s *Sweep) BlockedPeerFunc(cell Cell) func(peerIdx int) bool {
+	return s.Censor.blockedPeerFunc(cell.Fleet, cell.Window, cell.Day)
+}
+
+// BlockingRate returns the cell's blocking rate against the sweep victim.
+func (s *Sweep) BlockingRate(cell Cell) float64 {
+	vic := s.Victim.addrSet(cell.Day)
+	if vic.Len() == 0 {
+		return 0
+	}
+	bl := s.Blacklist(cell)
+	return float64(bl.IntersectCount(vic)) / float64(vic.Len())
+}
+
+// BlockingSeries returns the cumulative blocking-rate fractions against
+// the sweep victim for fleet prefixes 1..maxFleet at (window, day) — one
+// Figure 13 curve. The blacklist is built incrementally: adding router k
+// extends the union, and each newly blacklisted address checks victim
+// membership in O(1), so the whole series costs one pass over each
+// router-day's observations instead of a map rebuild per fleet size.
+func (s *Sweep) BlockingSeries(window, day, maxFleet int) []float64 {
+	vic := s.Victim.addrSet(day)
+	bl := s.Censor.ix.NewSet()
+	blocked := 0
+	start := day - window + 1
+	if start < 0 {
+		start = 0
+	}
+	out := make([]float64, 0, maxFleet)
+	for k := 1; k <= maxFleet; k++ {
+		for d := start; d <= day; d++ {
+			for _, id := range s.Censor.observedIDs(k-1, d) {
+				if bl.Add(id) && vic.Has(id) {
+					blocked++
+				}
+			}
+		}
+		rate := 0.0
+		if vic.Len() > 0 {
+			rate = float64(blocked) / float64(vic.Len())
+		}
+		out = append(out, rate)
+	}
+	return out
+}

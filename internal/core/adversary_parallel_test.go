@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// adversaryIDs are the experiments riding the censor sweep engine.
+var adversaryIDs = []string{"figure-13", "figure-14", "eclipse-attack", "bridge-strategies"}
+
+// adversaryStudy builds a small study pinned to the given engine width.
+// Both studies share one seed, so their networks are identical; only the
+// worker count differs.
+func adversaryStudy(t *testing.T, workers int) *Study {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.TargetDailyPeers = 1200
+	opts.Workers = workers
+	s, err := NewStudy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestAdversarySweepParallelMatchesSerial is the adversary engine's
+// registry-level golden guarantee, mirroring
+// TestCampaignParallelMatchesSerial: the censorship experiments produce
+// byte-identical Result text, figures and metrics at Workers=1 and
+// Workers=8, so parallelism can never change a censorship artifact.
+func TestAdversarySweepParallelMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	serial := adversaryStudy(t, 1)
+	parallel := adversaryStudy(t, 8)
+	for _, id := range adversaryIDs {
+		want, err := serial.RunExperimentContext(ctx, id)
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		got, err := parallel.RunExperimentContext(ctx, id)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if got.Text != want.Text {
+			t.Errorf("%s: Workers=8 text differs from serial", id)
+		}
+		if !reflect.DeepEqual(got.Metrics, want.Metrics) {
+			t.Errorf("%s: Workers=8 metrics differ from serial", id)
+		}
+		if !reflect.DeepEqual(got.Figure, want.Figure) {
+			t.Errorf("%s: Workers=8 figure differs from serial", id)
+		}
+	}
+}
+
+// TestExperimentCategories locks the category tagging the CLIs derive
+// their experiment sets from.
+func TestExperimentCategories(t *testing.T) {
+	wantCensorship := []string{
+		"bridge-strategies", "dpi-fingerprinting", "eclipse-attack",
+		"figure-13", "figure-14", "port-blocking", "reseed-blocking",
+	}
+	if got := ExperimentIDs(CategoryCensorship); !reflect.DeepEqual(got, wantCensorship) {
+		t.Errorf("censorship IDs = %v, want %v", got, wantCensorship)
+	}
+	if got := ExperimentIDs(CategoryAblation); len(got) != 2 {
+		t.Errorf("ablation IDs = %v", got)
+	}
+	total := len(ExperimentIDs(CategoryPopulation)) +
+		len(ExperimentIDs(CategoryCensorship)) +
+		len(ExperimentIDs(CategoryAblation))
+	if all := ExperimentIDs(""); total != len(all) || len(all) != len(Experiments()) {
+		t.Errorf("categories cover %d experiments, registry has %d", total, len(Experiments()))
+	}
+	for _, e := range Experiments() {
+		switch e.Category {
+		case CategoryPopulation, CategoryCensorship, CategoryAblation:
+		default:
+			t.Errorf("experiment %s has category %q", e.ID, e.Category)
+		}
+	}
+}

@@ -143,6 +143,21 @@ type Result struct {
 	Metrics map[string]float64
 }
 
+// Experiment categories. Every registered experiment carries exactly one;
+// the CLIs derive their experiment sets from these tags (cmd/i2pcensor
+// owns CategoryCensorship, cmd/i2pmeasure the other two), so adding an
+// experiment can never silently drift out of a hand-maintained ID list.
+const (
+	// CategoryPopulation tags the Section 5 artifacts (Figures 2-12,
+	// Table 1, the floodfill population estimate).
+	CategoryPopulation = "population"
+	// CategoryCensorship tags the Section 2.2.2 and Section 6-7 artifacts
+	// (blocking, usability, reseed, bridges, DPI, eclipse).
+	CategoryCensorship = "censorship"
+	// CategoryAblation tags the extension ablation studies.
+	CategoryAblation = "ablation"
+)
+
 // Experiment maps one paper artifact to a runnable.
 type Experiment struct {
 	// ID is the registry key, e.g. "figure-05" or "table-01".
@@ -151,6 +166,9 @@ type Experiment struct {
 	Title string
 	// Paper summarizes the expected result from the paper.
 	Paper string
+	// Category groups the experiment for the CLIs; one of the Category*
+	// constants. Required at registration.
+	Category string
 	// Run executes the experiment against a study. Implementations must
 	// honor ctx cancellation between expensive stages and must treat the
 	// study's network as read-only so RunAll can run them concurrently.
@@ -162,13 +180,18 @@ var (
 	registry   = map[string]Experiment{}
 )
 
-// register adds an experiment to the registry; duplicate IDs panic (they
-// are programming errors).
+// register adds an experiment to the registry; duplicate IDs or missing
+// categories panic (they are programming errors).
 func register(e Experiment) {
 	registryMu.Lock()
 	defer registryMu.Unlock()
 	if _, dup := registry[e.ID]; dup {
 		panic("core: duplicate experiment " + e.ID)
+	}
+	switch e.Category {
+	case CategoryPopulation, CategoryCensorship, CategoryAblation:
+	default:
+		panic("core: experiment " + e.ID + " has invalid category " + fmt.Sprintf("%q", e.Category))
 	}
 	registry[e.ID] = e
 }
@@ -182,6 +205,18 @@ func Experiments() []Experiment {
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ExperimentIDs returns the IDs of registered experiments in the given
+// category, sorted; the empty category selects every experiment.
+func ExperimentIDs(category string) []string {
+	var out []string
+	for _, e := range Experiments() {
+		if category == "" || e.Category == category {
+			out = append(out, e.ID)
+		}
+	}
 	return out
 }
 

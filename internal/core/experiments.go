@@ -20,136 +20,158 @@ import (
 
 func init() {
 	register(Experiment{
-		ID:    "figure-02",
-		Title: "Peers observed by one high-end router in floodfill vs non-floodfill mode",
-		Paper: "~15-16K peers/day out of ~30.5K; non-floodfill slightly higher",
-		Run:   runFigure02,
+		ID:       "figure-02",
+		Category: CategoryPopulation,
+		Title:    "Peers observed by one high-end router in floodfill vs non-floodfill mode",
+		Paper:    "~15-16K peers/day out of ~30.5K; non-floodfill slightly higher",
+		Run:      runFigure02,
 	})
 	register(Experiment{
-		ID:    "figure-03",
-		Title: "Peers observed vs shared bandwidth (7 floodfill + 7 non-floodfill routers)",
-		Paper: "floodfill wins <2MB/s by 1.5-2K, non-floodfill wins >2MB/s by 1-1.5K; pair union flat at 17-18K",
-		Run:   runFigure03,
+		ID:       "figure-03",
+		Category: CategoryPopulation,
+		Title:    "Peers observed vs shared bandwidth (7 floodfill + 7 non-floodfill routers)",
+		Paper:    "floodfill wins <2MB/s by 1.5-2K, non-floodfill wins >2MB/s by 1-1.5K; pair union flat at 17-18K",
+		Run:      runFigure03,
 	})
 	register(Experiment{
-		ID:    "figure-04",
-		Title: "Cumulative peers observed by 1-40 routers",
-		Paper: "logarithmic growth to ~32K; 20 routers reach 95.5%",
-		Run:   runFigure04,
+		ID:       "figure-04",
+		Category: CategoryPopulation,
+		Title:    "Cumulative peers observed by 1-40 routers",
+		Paper:    "logarithmic growth to ~32K; 20 routers reach 95.5%",
+		Run:      runFigure04,
 	})
 	register(Experiment{
-		ID:    "figure-05",
-		Title: "Daily unique peers and IP addresses",
-		Paper: "~30.5K daily peers; unique IPs noticeably lower; IPv6 far below IPv4",
-		Run:   runFigure05,
+		ID:       "figure-05",
+		Category: CategoryPopulation,
+		Title:    "Daily unique peers and IP addresses",
+		Paper:    "~30.5K daily peers; unique IPs noticeably lower; IPv6 far below IPv4",
+		Run:      runFigure05,
 	})
 	register(Experiment{
-		ID:    "figure-06",
-		Title: "Peers with unknown IP addresses",
-		Paper: "~15K unknown-IP: ~14K firewalled, ~4K hidden, ~2.6K overlapping",
-		Run:   runFigure06,
+		ID:       "figure-06",
+		Category: CategoryPopulation,
+		Title:    "Peers with unknown IP addresses",
+		Paper:    "~15K unknown-IP: ~14K firewalled, ~4K hidden, ~2.6K overlapping",
+		Run:      runFigure06,
 	})
 	register(Experiment{
-		ID:    "figure-07",
-		Title: "Peer longevity (continuous vs intermittent)",
-		Paper: ">=7d: 56.36%/73.93%; >=30d: 20.03%/31.15%",
-		Run:   runFigure07,
+		ID:       "figure-07",
+		Category: CategoryPopulation,
+		Title:    "Peer longevity (continuous vs intermittent)",
+		Paper:    ">=7d: 56.36%/73.93%; >=30d: 20.03%/31.15%",
+		Run:      runFigure07,
 	})
 	register(Experiment{
-		ID:    "figure-08",
-		Title: "IP addresses per peer",
-		Paper: "45% single-IP, 55% multi-IP, ~0.65% over 100 addresses",
-		Run:   runFigure08,
+		ID:       "figure-08",
+		Category: CategoryPopulation,
+		Title:    "IP addresses per peer",
+		Paper:    "45% single-IP, 55% multi-IP, ~0.65% over 100 addresses",
+		Run:      runFigure08,
 	})
 	register(Experiment{
-		ID:    "figure-09",
-		Title: "Capacity distribution of peers",
-		Paper: "L~21K, N~9K, P~2.1K, X~1.8K, O~875, M~400, K~360 per day",
-		Run:   runFigure09,
+		ID:       "figure-09",
+		Category: CategoryPopulation,
+		Title:    "Capacity distribution of peers",
+		Paper:    "L~21K, N~9K, P~2.1K, X~1.8K, O~875, M~400, K~360 per day",
+		Run:      runFigure09,
 	})
 	register(Experiment{
-		ID:    "table-01",
-		Title: "Bandwidth percentages by floodfill/reachable/unreachable group",
-		Paper: "N dominates floodfill column (62%), L dominates the others (~67-76%)",
-		Run:   runTable01,
+		ID:       "table-01",
+		Category: CategoryPopulation,
+		Title:    "Bandwidth percentages by floodfill/reachable/unreachable group",
+		Paper:    "N dominates floodfill column (62%), L dominates the others (~67-76%)",
+		Run:      runTable01,
 	})
 	register(Experiment{
-		ID:    "estimate-floodfill",
-		Title: "Qualified-floodfill population estimate",
-		Paper: "8.8% floodfills, 71% qualified -> ~1,917 qualified -> ~31,950 peers",
-		Run:   runEstimateFloodfill,
+		ID:       "estimate-floodfill",
+		Category: CategoryPopulation,
+		Title:    "Qualified-floodfill population estimate",
+		Paper:    "8.8% floodfills, 71% qualified -> ~1,917 qualified -> ~31,950 peers",
+		Run:      runEstimateFloodfill,
 	})
 	register(Experiment{
-		ID:    "figure-10",
-		Title: "Top 20 countries",
-		Paper: "US first (~28K); big-6 >40%; top-20 >60%; ~6K peers in 30 censored countries, CN >2K",
-		Run:   runFigure10,
+		ID:       "figure-10",
+		Category: CategoryPopulation,
+		Title:    "Top 20 countries",
+		Paper:    "US first (~28K); big-6 >40%; top-20 >60%; ~6K peers in 30 censored countries, CN >2K",
+		Run:      runFigure10,
 	})
 	register(Experiment{
-		ID:    "figure-11",
-		Title: "Top 20 autonomous systems",
-		Paper: "AS7922 (Comcast) >8K; top-20 >30%",
-		Run:   runFigure11,
+		ID:       "figure-11",
+		Category: CategoryPopulation,
+		Title:    "Top 20 autonomous systems",
+		Paper:    "AS7922 (Comcast) >8K; top-20 >30%",
+		Run:      runFigure11,
 	})
 	register(Experiment{
-		ID:    "figure-12",
-		Title: "Autonomous systems per multi-IP peer",
-		Paper: ">80% single-AS; 8.4% >10 ASes; maxima 39 ASes / 25 countries",
-		Run:   runFigure12,
+		ID:       "figure-12",
+		Category: CategoryPopulation,
+		Title:    "Autonomous systems per multi-IP peer",
+		Paper:    ">80% single-AS; 8.4% >10 ASes; maxima 39 ASes / 25 countries",
+		Run:      runFigure12,
 	})
 	register(Experiment{
-		ID:    "figure-13",
-		Title: "Blocking rates vs censor routers and blacklist windows",
-		Paper: "90% @6 routers, >95% @20 (1-day); 95% @10 (5-day); ~98% @20 (30-day)",
-		Run:   runFigure13,
+		ID:       "figure-13",
+		Category: CategoryCensorship,
+		Title:    "Blocking rates vs censor routers and blacklist windows",
+		Paper:    "90% @6 routers, >95% @20 (1-day); 95% @10 (5-day); ~98% @20 (30-day)",
+		Run:      runFigure13,
 	})
 	register(Experiment{
-		ID:    "figure-14",
-		Title: "Page-load latency and timeouts under blocking",
-		Paper: "3.4s unblocked; >20s + 40% timeouts @65%; >40s + >60% @70-90%; 95-100% timeouts >90%",
-		Run:   runFigure14,
+		ID:       "figure-14",
+		Category: CategoryCensorship,
+		Title:    "Page-load latency and timeouts under blocking",
+		Paper:    "3.4s unblocked; >20s + 40% timeouts @65%; >40s + >60% @70-90%; 95-100% timeouts >90%",
+		Run:      runFigure14,
 	})
 	register(Experiment{
-		ID:    "reseed-blocking",
-		Title: "Reseed-server blocking and manual reseed (Section 6.1)",
-		Paper: "bootstrap fails when all reseeds are blocked; i2pseeds.su3 restores access",
-		Run:   runReseedBlocking,
+		ID:       "reseed-blocking",
+		Category: CategoryCensorship,
+		Title:    "Reseed-server blocking and manual reseed (Section 6.1)",
+		Paper:    "bootstrap fails when all reseeds are blocked; i2pseeds.su3 restores access",
+		Run:      runReseedBlocking,
 	})
 	register(Experiment{
-		ID:    "bridge-strategies",
-		Title: "Bridge candidate pools under blocking (Section 7.1)",
-		Paper: "newly joined peers start unblocked but decay; firewalled peers resist address blocking",
-		Run:   runBridgeStrategies,
+		ID:       "bridge-strategies",
+		Category: CategoryCensorship,
+		Title:    "Bridge candidate pools under blocking (Section 7.1)",
+		Paper:    "newly joined peers start unblocked but decay; firewalled peers resist address blocking",
+		Run:      runBridgeStrategies,
 	})
 	register(Experiment{
-		ID:    "dpi-fingerprinting",
-		Title: "DPI flow fingerprinting of NTCP vs NTCP2 (Section 2.2.2)",
-		Paper: "NTCP's 288/304/448/48 handshake is fully detectable; NTCP2 padding defeats it",
-		Run:   runDPIFingerprinting,
+		ID:       "dpi-fingerprinting",
+		Category: CategoryCensorship,
+		Title:    "DPI flow fingerprinting of NTCP vs NTCP2 (Section 2.2.2)",
+		Paper:    "NTCP's 288/304/448/48 handshake is fully detectable; NTCP2 padding defeats it",
+		Run:      runDPIFingerprinting,
 	})
 	register(Experiment{
-		ID:    "port-blocking",
-		Title: "Collateral damage of port-range blocking (Section 2.2.2)",
-		Paper: "blocking ports 9000-31000 stops I2P but unintentionally blocks legitimate applications",
-		Run:   runPortBlocking,
+		ID:       "port-blocking",
+		Category: CategoryCensorship,
+		Title:    "Collateral damage of port-range blocking (Section 2.2.2)",
+		Paper:    "blocking ports 9000-31000 stops I2P but unintentionally blocks legitimate applications",
+		Run:      runPortBlocking,
 	})
 	register(Experiment{
-		ID:    "eclipse-attack",
-		Title: "From blocking to eclipse: attacker share of the victim's view (Section 7.2)",
-		Paper: "after blocking >95% of peers, injected whitelisted routers dominate the victim's usable view",
-		Run:   runEclipseAttack,
+		ID:       "eclipse-attack",
+		Category: CategoryCensorship,
+		Title:    "From blocking to eclipse: attacker share of the victim's view (Section 7.2)",
+		Paper:    "after blocking >95% of peers, injected whitelisted routers dominate the victim's usable view",
+		Run:      runEclipseAttack,
 	})
 	register(Experiment{
-		ID:    "ablation-observer-mix",
-		Title: "Ablation: observer mode mix (all-ff vs all-nonff vs half/half)",
-		Paper: "Section 4.2: combining modes yields a more complete view than either alone",
-		Run:   runAblationObserverMix,
+		ID:       "ablation-observer-mix",
+		Category: CategoryAblation,
+		Title:    "Ablation: observer mode mix (all-ff vs all-nonff vs half/half)",
+		Paper:    "Section 4.2: combining modes yields a more complete view than either alone",
+		Run:      runAblationObserverMix,
 	})
 	register(Experiment{
-		ID:    "ablation-flood-fanout",
-		Title: "Ablation: floodfill flooding fan-out (1 vs 3 vs 8)",
-		Paper: "Section 4.2: fresh entries flood to the 3 closest floodfills",
-		Run:   runAblationFloodFanout,
+		ID:       "ablation-flood-fanout",
+		Category: CategoryAblation,
+		Title:    "Ablation: floodfill flooding fan-out (1 vs 3 vs 8)",
+		Paper:    "Section 4.2: fresh entries flood to the 3 closest floodfills",
+		Run:      runAblationFloodFanout,
 	})
 }
 
@@ -563,7 +585,7 @@ func runFigure12(ctx context.Context, s *Study) (*Result, error) {
 
 func runFigure13(ctx context.Context, s *Study) (*Result, error) {
 	day := s.experimentDay()
-	fig, err := censor.Figure13(s.Net, 20, []int{1, 5, 10, 20, 30}, day, 700)
+	fig, err := censor.Figure13Context(ctx, s.Net, 20, []int{1, 5, 10, 20, 30}, day, 700, s.Workers())
 	if err != nil {
 		return nil, err
 	}
@@ -607,13 +629,25 @@ func runFigure14(ctx context.Context, s *Study) (*Result, error) {
 	timeouts := fig.AddSeries("timed out requests (%)")
 	loads := fig.AddSeries("page load time (s)")
 	metrics := map[string]float64{}
-	for _, rate := range rates {
-		blocked := hashBlockFraction(rate)
+	// Each blocking level crawls with its own rate-derived RNG, so the
+	// levels are independent cells: fan them across the engine pool and
+	// fold the figure serially in rate order.
+	crawls := make([]eepsite.CrawlStats, len(rates))
+	err := measure.FanOut(ctx, len(rates), s.Workers(), func(i int) error {
+		blocked := hashBlockFraction(rates[i])
 		client := eepsite.NewClient(candidates, blocked)
-		st, err := client.Crawl(site, 100, rand.New(rand.NewPCG(uint64(rate*1000)+1, 99)))
+		st, err := client.Crawl(site, 100, rand.New(rand.NewPCG(uint64(rates[i]*1000)+1, 99)))
 		if err != nil {
-			return nil, err
+			return err
 		}
+		crawls[i] = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, rate := range rates {
+		st := crawls[i]
 		timeouts.Append(rate*100, st.TimeoutPct())
 		loads.Append(rate*100, st.MeanLoad.Seconds())
 		switch rate {
@@ -699,7 +733,8 @@ func runBridgeStrategies(ctx context.Context, s *Study) (*Result, error) {
 	cfg := censor.DefaultBridgeConfig()
 	cfg.Day = s.experimentDay() - 11
 	cfg.HorizonDays = 10
-	evs, err := censor.EvaluateBridges(s.Net, 5, cfg)
+	cfg.Workers = s.Workers()
+	evs, err := censor.EvaluateBridgesContext(ctx, s.Net, 5, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -818,7 +853,7 @@ func runEclipseAttack(ctx context.Context, s *Study) (*Result, error) {
 	if injected < 5 {
 		injected = 5
 	}
-	fig, results, err := censor.EclipseSweep(s.Net, []int{2, 6, 10, 20}, 5, injected, day, 7200)
+	fig, results, err := censor.EclipseSweepContext(ctx, s.Net, []int{2, 6, 10, 20}, 5, injected, day, 7200, s.Workers())
 	if err != nil {
 		return nil, err
 	}

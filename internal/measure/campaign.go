@@ -154,7 +154,7 @@ type mergedDay struct {
 
 // runParallel is the concurrent campaign engine. Three overlapping stages:
 //
-//  1. capture — a fanOut pool runs CollectDay per (day, observer) and
+//  1. capture — a FanOut pool runs CollectDay per (day, observer) and
 //     partitions each capture by identity-hash shard;
 //  2. merge — the worker completing a day's last capture merges its
 //     shards, each shard scanning observers in order (preserving the
@@ -188,7 +188,7 @@ func (c *Campaign) runParallel(ctx context.Context, ds *Dataset, workers int) er
 	go func() {
 		// Task order is day-major, so early days complete (and unblock the
 		// in-order accumulator) first.
-		collectErr <- fanOut(cctx, nDays*nObs, workers, func(t int) error {
+		collectErr <- FanOut(cctx, nDays*nObs, workers, func(t int) error {
 			di, oi := t/nObs, t%nObs
 			day := c.cfg.StartDay + di
 			captures[di][oi] = shardCapture(c.obs[oi].CollectDay(day), shards)

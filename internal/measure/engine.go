@@ -32,18 +32,20 @@ func mergeShards(workers int) int {
 	return workers
 }
 
-// fanOut runs fn(i) for every i in [0, n) across a pool of workers,
+// FanOut runs fn(i) for every i in [0, n) across a pool of workers,
 // stopping at the first error or context cancellation. Tasks are handed
-// out in index order, so low-indexed work starts first.
-func fanOut(ctx context.Context, n, workers int, fn func(i int) error) error {
+// out in index order, so low-indexed work starts first; workers <= 0
+// selects one worker per CPU. FanOut is the engine primitive shared by
+// ObserveGrid, the campaign capture stage, the experiment runner, and the
+// censor sweep grids: callers obtain worker-count-independent results by
+// writing into caller-owned slots indexed by task, never by arrival order.
+func FanOut(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
+	workers = resolveWorkers(workers)
 	if workers > n {
 		workers = n
-	}
-	if workers < 1 {
-		workers = 1
 	}
 	tasks := make(chan int, n)
 	for i := 0; i < n; i++ {
@@ -97,7 +99,7 @@ func ObserveGrid(ctx context.Context, observers []*sim.Observer, days []int, wor
 	if len(days) == 0 {
 		return grid, ctx.Err()
 	}
-	err := fanOut(ctx, len(observers)*len(days), resolveWorkers(workers), func(t int) error {
+	err := FanOut(ctx, len(observers)*len(days), workers, func(t int) error {
 		o, d := t/len(days), t%len(days)
 		grid[o][d] = observers[o].ObserveDay(days[d])
 		return nil

@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"github.com/i2pstudy/i2pstudy/internal/netdb"
 )
@@ -79,13 +80,23 @@ const MaxSharedKBps = 8192
 
 // Observer is an instantiated measurement router on a network.
 //
-// Observers hold no mutable state: every observation method derives a
-// private RNG from (Seed, day), so calls are idempotent, days can be
-// visited in any order, and one Observer may be driven from many
-// goroutines at once (the parallel campaign engine does exactly that).
+// Every observation method derives a private RNG from (Seed, day), so
+// calls are idempotent, days can be visited in any order, and one Observer
+// may be driven from many goroutines at once (the parallel campaign engine
+// and the censor sweep engine do exactly that). The only mutable state is
+// a memo of per-day draws, which callers never see directly: repeated
+// ObserveDay calls return the same (shared, read-only) slice instead of
+// redrawing, so sweeps that revisit (observer, day) cells — blacklist
+// windows sliding over the same days, fleet prefixes sharing routers —
+// pay for each capture once.
 type Observer struct {
 	Cfg ObserverConfig
 	net *Network
+
+	// memo caches ObserveDay results keyed by day. Memory is bounded by
+	// (days visited) x (peers seen) per observer and is released with the
+	// observer itself; campaigns drop their fleets after the run.
+	memo sync.Map // int -> []int
 }
 
 // NewObserver attaches an observer to the network. Bandwidth is clamped to
@@ -159,8 +170,18 @@ func (o *Observer) dayRNG(day int) *rand.Rand {
 }
 
 // ObserveDay returns the indexes of peers the observer sees on the given
-// study day. The result is deterministic for a given (seed, day).
+// study day. The result is deterministic for a given (seed, day) and is
+// memoized: callers receive a shared slice and must not modify it.
 func (o *Observer) ObserveDay(day int) []int {
+	if v, ok := o.memo.Load(day); ok {
+		return v.([]int)
+	}
+	v, _ := o.memo.LoadOrStore(day, o.observeDay(day))
+	return v.([]int)
+}
+
+// observeDay performs the actual (seed, day)-deterministic draw.
+func (o *Observer) observeDay(day int) []int {
 	active := o.net.ActivePeers(day)
 	if len(active) == 0 {
 		return nil

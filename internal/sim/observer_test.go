@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -81,5 +83,69 @@ func TestObservationSubsetOfActives(t *testing.T) {
 	}
 	if got := o.ObserveDay(-1); got != nil {
 		t.Fatal("out-of-range day returned observations")
+	}
+}
+
+// TestObserveDayMemoized: repeated ObserveDay calls return the cached
+// draw (same backing slice), including under concurrent access, and a
+// fresh observer with the same seed reproduces it exactly.
+func TestObserveDayMemoized(t *testing.T) {
+	n := testNetwork(t, 10)
+	o := n.NewObserver(ObserverConfig{SharedKBps: 8192, Floodfill: true, Seed: 9})
+	day := 4
+	first := o.ObserveDay(day)
+	if len(first) == 0 {
+		t.Fatal("observer saw nothing")
+	}
+	second := o.ObserveDay(day)
+	if &first[0] != &second[0] || len(first) != len(second) {
+		t.Fatal("repeated ObserveDay did not return the memoized slice")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := 0; d < n.Days(); d++ {
+				o.ObserveDay(d)
+			}
+		}()
+	}
+	wg.Wait()
+	fresh := n.NewObserver(ObserverConfig{SharedKBps: 8192, Floodfill: true, Seed: 9})
+	if !reflect.DeepEqual(fresh.ObserveDay(day), first) {
+		t.Fatal("memoized draw differs from a fresh observer's draw")
+	}
+}
+
+// TestAddrScheduleMatchesAddrOnDay: the exported schedule reproduces
+// AddrOnDay for every peer and day.
+func TestAddrScheduleMatchesAddrOnDay(t *testing.T) {
+	n := testNetwork(t, 10)
+	for _, p := range n.Peers {
+		sched := p.AddrSchedule()
+		if p.Status != StatusKnownIP {
+			if sched != nil {
+				t.Fatalf("peer %d: unknown-IP peer has an address schedule", p.Index)
+			}
+			continue
+		}
+		for day := 0; day < n.Days(); day++ {
+			v4, v6 := p.AddrOnDay(day)
+			var want AddrSegment
+			if len(sched) > 0 {
+				want = sched[0]
+				for _, seg := range sched[1:] {
+					if seg.FromDay > day {
+						break
+					}
+					want = seg
+				}
+			}
+			if want.V4 != v4 || want.V6 != v6 {
+				t.Fatalf("peer %d day %d: schedule (%v, %v) != AddrOnDay (%v, %v)",
+					p.Index, day, want.V4, want.V6, v4, v6)
+			}
+		}
 	}
 }

@@ -129,6 +129,29 @@ func (p *Peer) AddrOnDay(day int) (v4, v6 netip.Addr) {
 	return cur.addr, cur.v6
 }
 
+// AddrSegment is one run of a peer's published address schedule: from
+// FromDay (inclusive) until the next segment's FromDay, the peer publishes
+// V4 (and V6 when valid). Mirrors what AddrOnDay consults day by day.
+type AddrSegment struct {
+	FromDay int
+	V4, V6  netip.Addr
+}
+
+// AddrSchedule returns the peer's daily address schedule in FromDay order,
+// or nil for peers that never publish an address. It lets analyses intern
+// every address the peer will ever publish in a single pass (the censor's
+// incremental blacklist index) instead of probing AddrOnDay per day.
+func (p *Peer) AddrSchedule() []AddrSegment {
+	if len(p.ipSchedule) == 0 {
+		return nil
+	}
+	out := make([]AddrSegment, len(p.ipSchedule))
+	for i, seg := range p.ipSchedule {
+		out[i] = AddrSegment{FromDay: seg.fromDay, V4: seg.addr, V6: seg.v6}
+	}
+	return out
+}
+
 // ASNOnDay returns the autonomous system of the peer's address on day, or
 // zero for unknown-IP peers.
 func (p *Peer) ASNOnDay(day int) uint32 {

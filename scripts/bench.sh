@@ -1,43 +1,60 @@
 #!/usr/bin/env bash
-# bench.sh — campaign-engine perf trajectory.
+# bench.sh — engine perf trajectories.
 #
-# Runs the serial and parallel campaign benchmarks and writes
-# BENCH_campaign.json with their ns/op plus the parallel speedup, so CI
-# (and future PRs) can track the engine's scaling over time. Usage:
+# Runs the serial and parallel benchmark pairs for the two engines and
+# writes one JSON file per pair, so CI (and future PRs) can track their
+# scaling over time:
 #
-#   ./scripts/bench.sh [output.json]
+#   BENCH_campaign.json — measure.Campaign (the Section 5 pipeline)
+#   BENCH_censor.json   — the Figure 13 adversary sweep (Sections 6-7)
 #
-# The speedup is hardware-relative: ~1.0 on a single core, >= 2x expected
-# at 4 cores (the per-(day, observer) captures are independent).
+# Usage:
+#
+#   ./scripts/bench.sh [campaign.json [censor.json]]
+#
+# The speedups are hardware-relative: ~1.0 on a single core, >= 2x
+# expected at 4 cores (per-(day, observer) captures and sweep cells are
+# independent).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_campaign.json}"
+campaign_out="${1:-BENCH_campaign.json}"
+censor_out="${2:-BENCH_censor.json}"
 benchtime="${BENCHTIME:-3x}"
-
-raw="$(go test ./internal/measure/ -run '^$' \
-  -bench 'BenchmarkCampaign(Serial|Parallel)$' -benchtime="$benchtime")"
-echo "$raw"
-
-serial="$(echo "$raw" | awk '/^BenchmarkCampaignSerial/   {print $3}')"
-parallel="$(echo "$raw" | awk '/^BenchmarkCampaignParallel/ {print $3}')"
-if [ -z "$serial" ] || [ -z "$parallel" ]; then
-  echo "bench.sh: failed to parse benchmark output" >&2
-  exit 1
-fi
 
 cores="$(go env GOMAXPROCS 2>/dev/null || echo 0)"
 [ "$cores" -gt 0 ] 2>/dev/null || cores="$(getconf _NPROCESSORS_ONLN)"
 
-awk -v serial="$serial" -v parallel="$parallel" -v cores="$cores" 'BEGIN {
-  printf "{\n"
-  printf "  \"benchmark\": \"campaign-engine\",\n"
-  printf "  \"serial_ns_per_op\": %d,\n", serial
-  printf "  \"parallel_ns_per_op\": %d,\n", parallel
-  printf "  \"speedup\": %.3f,\n", serial / parallel
-  printf "  \"cores\": %d\n", cores
-  printf "}\n"
-}' > "$out"
+# run_pair PKG REGEX SERIAL_NAME PARALLEL_NAME LABEL OUT
+run_pair() {
+  local pkg="$1" regex="$2" serial_name="$3" parallel_name="$4" label="$5" out="$6"
+  local raw serial parallel
+  raw="$(go test "$pkg" -run '^$' -bench "$regex" -benchtime="$benchtime")"
+  echo "$raw"
 
-echo "wrote $out:"
-cat "$out"
+  serial="$(echo "$raw" | awk -v n="$serial_name" '$1 ~ "^"n {print $3}')"
+  parallel="$(echo "$raw" | awk -v n="$parallel_name" '$1 ~ "^"n {print $3}')"
+  if [ -z "$serial" ] || [ -z "$parallel" ]; then
+    echo "bench.sh: failed to parse $label benchmark output" >&2
+    exit 1
+  fi
+
+  awk -v serial="$serial" -v parallel="$parallel" -v cores="$cores" -v label="$label" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"%s\",\n", label
+    printf "  \"serial_ns_per_op\": %d,\n", serial
+    printf "  \"parallel_ns_per_op\": %d,\n", parallel
+    printf "  \"speedup\": %.3f,\n", serial / parallel
+    printf "  \"cores\": %d\n", cores
+    printf "}\n"
+  }' > "$out"
+
+  echo "wrote $out:"
+  cat "$out"
+}
+
+run_pair ./internal/measure/ 'BenchmarkCampaign(Serial|Parallel)$' \
+  BenchmarkCampaignSerial BenchmarkCampaignParallel campaign-engine "$campaign_out"
+
+run_pair ./internal/censor/ 'BenchmarkFigure13Sweep(Serial|Parallel)$' \
+  BenchmarkFigure13SweepSerial BenchmarkFigure13SweepParallel censor-sweep-engine "$censor_out"
