@@ -187,6 +187,20 @@ func BenchmarkEclipseAttack(b *testing.B) {
 		"attacker_share_2routers", "attacker_share_20routers")
 }
 
+func BenchmarkBridgeDistribution(b *testing.B) {
+	skipIfShort(b)
+	benchmarkExperiment(b, "bridge-distribution",
+		"https_crawler_bootstrap_final", "https_crawler_enumerated_final",
+		"manual-reseed_crawler_enumerated_final", "manual-reseed_insider_enumerated_final")
+}
+
+func BenchmarkDistributionEnumeration(b *testing.B) {
+	skipIfShort(b)
+	benchmarkExperiment(b, "distribution-enumeration",
+		"https_crawler_days_to_half", "https_crawler_bootstrap_final",
+		"social_crawler_bootstrap_final")
+}
+
 func BenchmarkAblationObserverModeMix(b *testing.B) {
 	benchmarkExperiment(b, "ablation-observer-mix", "all_ff", "all_nonff", "mixed")
 }

@@ -2,7 +2,9 @@
 // the probabilistic address-based blocking model (Figure 13), the eepsite
 // usability evaluation under null-routing (Figure 14), reseed blocking and
 // manual reseeding (Section 6.1), the bridge strategies of Section 7.1,
-// and the DPI fingerprinting study of Section 2.2.2.
+// the DPI fingerprinting study of Section 2.2.2, and the
+// bridge-distribution pipeline (rdsys-style distributors vs censor
+// enumeration, internal/distrib).
 //
 // Usage:
 //
@@ -50,8 +52,10 @@ func main() {
 		opts.TargetDailyPeers, *scale, opts.Days, opts.Seed)
 
 	// The experiment set is derived from the registry's category tags, so
-	// newly registered censorship experiments appear here automatically.
-	ids := core.ExperimentIDs(core.CategoryCensorship)
+	// newly registered censorship and distribution experiments appear here
+	// automatically.
+	ids := append(core.ExperimentIDs(core.CategoryCensorship),
+		core.ExperimentIDs(core.CategoryDistribution)...)
 	if *experiment != "" {
 		ids = []string{*experiment}
 	}

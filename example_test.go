@@ -10,12 +10,13 @@ import (
 // ExampleExperiments lists the registry: one experiment per table and
 // figure in the paper's evaluation, plus the extension studies.
 func ExampleExperiments() {
-	for _, e := range i2pstudy.Experiments()[:3] {
+	for _, e := range i2pstudy.Experiments()[:4] {
 		fmt.Println(e.ID)
 	}
 	// Output:
 	// ablation-flood-fanout
 	// ablation-observer-mix
+	// bridge-distribution
 	// bridge-strategies
 }
 

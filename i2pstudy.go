@@ -54,9 +54,10 @@ func FullScaleOptions() Options { return core.FullScaleOptions() }
 
 // Experiment categories; every registered experiment carries one.
 const (
-	CategoryPopulation = core.CategoryPopulation
-	CategoryCensorship = core.CategoryCensorship
-	CategoryAblation   = core.CategoryAblation
+	CategoryPopulation   = core.CategoryPopulation
+	CategoryCensorship   = core.CategoryCensorship
+	CategoryAblation     = core.CategoryAblation
+	CategoryDistribution = core.CategoryDistribution
 )
 
 // Experiments lists every registered experiment sorted by ID.

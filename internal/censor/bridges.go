@@ -166,27 +166,7 @@ func EvaluateBridgesContext(ctx context.Context, network *sim.Network, windowDay
 
 	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xBF58476D1CE4E5B9))
 
-	// Candidate pools at distribution day.
-	var knownIP, newlyJoined, firewalled []int
-	for _, idx := range network.ActivePeers(cfg.Day) {
-		p := network.Peers[idx]
-		switch p.Status {
-		case sim.StatusKnownIP:
-			knownIP = append(knownIP, idx)
-			if p.FirstActiveDay() >= cfg.Day-1 {
-				newlyJoined = append(newlyJoined, idx)
-			}
-		case sim.StatusFirewalled, sim.StatusToggling:
-			firewalled = append(firewalled, idx)
-		}
-	}
-
-	pools := map[BridgeStrategy][]int{
-		BridgeRandom:      knownIP,
-		BridgeNewlyJoined: newlyJoined,
-		BridgeFirewalled:  firewalled,
-		BridgeCombined:    append(append([]int(nil), newlyJoined...), firewalled...),
-	}
+	pools := bridgePools(network, cfg.Day)
 
 	var out []BridgeEvaluation
 	for _, strat := range []BridgeStrategy{BridgeRandom, BridgeNewlyJoined, BridgeFirewalled, BridgeCombined} {
@@ -220,6 +200,37 @@ func EvaluateBridgesContext(ctx context.Context, network *sim.Network, windowDay
 		out = append(out, ev)
 	}
 	return out, nil
+}
+
+// bridgePools builds every strategy's candidate pool at the distribution
+// day in one pass over the day's active peers.
+func bridgePools(network *sim.Network, day int) map[BridgeStrategy][]int {
+	var knownIP, newlyJoined, firewalled []int
+	for _, idx := range network.ActivePeers(day) {
+		p := network.Peers[idx]
+		switch p.Status {
+		case sim.StatusKnownIP:
+			knownIP = append(knownIP, idx)
+			if p.FirstActiveDay() >= day-1 {
+				newlyJoined = append(newlyJoined, idx)
+			}
+		case sim.StatusFirewalled, sim.StatusToggling:
+			firewalled = append(firewalled, idx)
+		}
+	}
+	return map[BridgeStrategy][]int{
+		BridgeRandom:      knownIP,
+		BridgeNewlyJoined: newlyJoined,
+		BridgeFirewalled:  firewalled,
+		BridgeCombined:    append(append([]int(nil), newlyJoined...), firewalled...),
+	}
+}
+
+// BridgePool returns the peer indexes the given strategy would draw bridge
+// candidates from on the distribution day — the resource supply side of the
+// distrib subsystem's backend.
+func BridgePool(network *sim.Network, strat BridgeStrategy, day int) []int {
+	return bridgePools(network, day)[strat]
 }
 
 // bridgeUsable reports whether a bridge peer can be used from behind the

@@ -166,6 +166,12 @@ type indexOnce struct {
 	ix   *AddrIndex
 }
 
+// IndexFor returns the network's shared address index, building it at most
+// once per network. Exported for the distrib subsystem, whose
+// enumeration-fed blacklists are AddrSets over the same interned table the
+// censor sweeps use.
+func IndexFor(n *sim.Network) *AddrIndex { return indexFor(n) }
+
 // indexFor returns the network's shared address index, building it at
 // most once per network.
 func indexFor(n *sim.Network) *AddrIndex {

@@ -6,8 +6,12 @@ import (
 	"testing"
 )
 
-// adversaryIDs are the experiments riding the censor sweep engine.
-var adversaryIDs = []string{"figure-13", "figure-14", "eclipse-attack", "bridge-strategies"}
+// adversaryIDs are the experiments riding the censor sweep engine and the
+// distrib arms-race engine.
+var adversaryIDs = []string{
+	"figure-13", "figure-14", "eclipse-attack", "bridge-strategies",
+	"bridge-distribution", "distribution-enumeration",
+}
 
 // adversaryStudy builds a small study pinned to the given engine width.
 // Both studies share one seed, so their networks are identical; only the
@@ -67,15 +71,20 @@ func TestExperimentCategories(t *testing.T) {
 	if got := ExperimentIDs(CategoryAblation); len(got) != 2 {
 		t.Errorf("ablation IDs = %v", got)
 	}
+	wantDistribution := []string{"bridge-distribution", "distribution-enumeration"}
+	if got := ExperimentIDs(CategoryDistribution); !reflect.DeepEqual(got, wantDistribution) {
+		t.Errorf("distribution IDs = %v, want %v", got, wantDistribution)
+	}
 	total := len(ExperimentIDs(CategoryPopulation)) +
 		len(ExperimentIDs(CategoryCensorship)) +
-		len(ExperimentIDs(CategoryAblation))
+		len(ExperimentIDs(CategoryAblation)) +
+		len(ExperimentIDs(CategoryDistribution))
 	if all := ExperimentIDs(""); total != len(all) || len(all) != len(Experiments()) {
 		t.Errorf("categories cover %d experiments, registry has %d", total, len(Experiments()))
 	}
 	for _, e := range Experiments() {
 		switch e.Category {
-		case CategoryPopulation, CategoryCensorship, CategoryAblation:
+		case CategoryPopulation, CategoryCensorship, CategoryAblation, CategoryDistribution:
 		default:
 			t.Errorf("experiment %s has category %q", e.ID, e.Category)
 		}

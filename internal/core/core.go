@@ -156,6 +156,10 @@ const (
 	CategoryCensorship = "censorship"
 	// CategoryAblation tags the extension ablation studies.
 	CategoryAblation = "ablation"
+	// CategoryDistribution tags the bridge-distribution pipeline
+	// experiments (internal/distrib): distributor-vs-enumerator arms
+	// races over the Section 7.1 bridge pools.
+	CategoryDistribution = "distribution"
 )
 
 // Experiment maps one paper artifact to a runnable.
@@ -189,7 +193,7 @@ func register(e Experiment) {
 		panic("core: duplicate experiment " + e.ID)
 	}
 	switch e.Category {
-	case CategoryPopulation, CategoryCensorship, CategoryAblation:
+	case CategoryPopulation, CategoryCensorship, CategoryAblation, CategoryDistribution:
 	default:
 		panic("core: experiment " + e.ID + " has invalid category " + fmt.Sprintf("%q", e.Category))
 	}

@@ -55,6 +55,7 @@ func TestRegistryComplete(t *testing.T) {
 		"estimate-floodfill", "reseed-blocking", "bridge-strategies",
 		"dpi-fingerprinting", "port-blocking", "eclipse-attack",
 		"ablation-observer-mix", "ablation-flood-fanout",
+		"bridge-distribution", "distribution-enumeration",
 	}
 	got := Experiments()
 	if len(got) != len(want) {

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/i2pstudy/i2pstudy/internal/censor"
+	"github.com/i2pstudy/i2pstudy/internal/distrib"
+	"github.com/i2pstudy/i2pstudy/internal/stats"
+)
+
+// The distribution-category experiments run the bridge-distribution
+// pipeline (internal/distrib): rdsys-style distributor frontends over the
+// Section 7.1 bridge pools, raced against censor-side enumeration. They
+// extend the paper's one-shot bridge evaluation (bridge-strategies) into
+// the distribution-vs-enumeration arms race the mitigation discussion
+// points at.
+
+func init() {
+	register(Experiment{
+		ID:       "bridge-distribution",
+		Category: CategoryDistribution,
+		Title:    "Bridge distribution arms race: distributor frontends vs censor enumeration",
+		Paper:    "Section 7.1 outlook: combined newly-joined + firewalled pools distributed out of band resist enumeration; open channels leak fastest",
+		Run:      runBridgeDistribution,
+	})
+	register(Experiment{
+		ID:       "distribution-enumeration",
+		Category: CategoryDistribution,
+		Title:    "Enumeration speed and bootstrap collapse with an address-blockable bridge pool",
+		Paper:    "Section 6.2/7.1: with known-IP bridges only, cheap channels are fully enumerated in days and bootstrap collapses; high-friction channels hold",
+		Run:      runDistributionEnumeration,
+	})
+}
+
+// distribDay places the distribution day so the horizon ends before the
+// study does, mirroring the bridge-strategies experiment.
+func (s *Study) distribDay() int { return s.experimentDay() - 11 }
+
+const distribHorizon = 10
+
+func runBridgeDistribution(ctx context.Context, s *Study) (*Result, error) {
+	sw, err := distrib.NewSweep(s.Net, distrib.SweepConfig{
+		Strategy:     censor.BridgeCombined,
+		Distributors: distrib.DefaultDistributors(),
+		Enumerators:  distrib.DefaultEnumerators(),
+		Days:         []int{s.distribDay()},
+		HorizonDays:  distribHorizon,
+		Users:        60,
+		MaxResources: 160,
+		SeedBase:     s.Opts.Seed + 1200,
+		Workers:      s.Workers(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	results, err := sw.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &stats.Figure{
+		Title:  "Bridge distribution: bootstrap success under crawler enumeration (combined pool)",
+		XLabel: "days after distribution",
+		YLabel: "bootstrap success (%)",
+	}
+	rows := [][]string{{"distributor", "enumerator", "partition", "bootstrap", "survival", "enumerated", "collateral"}}
+	metrics := map[string]float64{}
+	for _, r := range results {
+		if r.Enumerator == "crawler" {
+			sr := fig.AddSeries(r.Distributor)
+			for h, v := range r.Bootstrap {
+				sr.Append(float64(h), 100*v)
+			}
+		}
+		rows = append(rows, []string{
+			r.Distributor, r.Enumerator, fmt.Sprint(r.PartitionSize),
+			fmt.Sprintf("%.2f", r.FinalBootstrap()),
+			fmt.Sprintf("%.2f", r.FinalSurvival()),
+			fmt.Sprintf("%.2f", r.Enumerated[len(r.Enumerated)-1]),
+			fmt.Sprintf("%.2f", r.Collateral[len(r.Collateral)-1]),
+		})
+		key := r.Distributor + "_" + r.Enumerator
+		metrics[key+"_bootstrap_final"] = r.FinalBootstrap()
+		metrics[key+"_enumerated_final"] = r.Enumerated[len(r.Enumerated)-1]
+	}
+	var sb strings.Builder
+	sb.WriteString("Bridge-distribution arms race (combined pool, 10-day horizon)\n")
+	sb.WriteString(stats.RenderTable(rows))
+	return &Result{
+		ID: "bridge-distribution", Title: "Bridge distribution pipeline",
+		Text: sb.String(), Figure: fig, Metrics: metrics,
+	}, nil
+}
+
+func runDistributionEnumeration(ctx context.Context, s *Study) (*Result, error) {
+	sw, err := distrib.NewSweep(s.Net, distrib.SweepConfig{
+		Strategy:     censor.BridgeRandom,
+		Distributors: distrib.DefaultDistributors(),
+		Enumerators: []distrib.Enumerator{
+			{Kind: distrib.Crawler, Budget: 25},
+			{Kind: distrib.Sybil, Budget: 60},
+		},
+		Days:         []int{s.distribDay()},
+		HorizonDays:  distribHorizon,
+		Users:        60,
+		MaxResources: 160,
+		SeedBase:     s.Opts.Seed + 1300,
+		Workers:      s.Workers(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	results, err := sw.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &stats.Figure{
+		Title:  "Enumeration of an address-blockable (known-IP) bridge pool",
+		XLabel: "days after distribution",
+		YLabel: "partition enumerated (%)",
+	}
+	rows := [][]string{{"distributor", "enumerator", "days to 50%", "enumerated", "bootstrap"}}
+	metrics := map[string]float64{}
+	for _, r := range results {
+		if r.Enumerator == "crawler" {
+			sr := fig.AddSeries(r.Distributor)
+			for h, v := range r.Enumerated {
+				sr.Append(float64(h), 100*v)
+			}
+		}
+		d50 := r.DaysToEnumerate(0.5)
+		d50Text := fmt.Sprint(d50)
+		if d50 < 0 {
+			d50Text = "never"
+		}
+		rows = append(rows, []string{
+			r.Distributor, r.Enumerator, d50Text,
+			fmt.Sprintf("%.2f", r.Enumerated[len(r.Enumerated)-1]),
+			fmt.Sprintf("%.2f", r.FinalBootstrap()),
+		})
+		key := r.Distributor + "_" + r.Enumerator
+		metrics[key+"_days_to_half"] = float64(d50)
+		metrics[key+"_bootstrap_final"] = r.FinalBootstrap()
+	}
+	var sb strings.Builder
+	sb.WriteString("Enumeration speed, known-IP pool (10-day horizon)\n")
+	sb.WriteString(stats.RenderTable(rows))
+	return &Result{
+		ID: "distribution-enumeration", Title: "Distribution enumeration speed",
+		Text: sb.String(), Figure: fig, Metrics: metrics,
+	}, nil
+}

@@ -1,0 +1,134 @@
+package distrib
+
+import (
+	"fmt"
+
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+	"github.com/i2pstudy/i2pstudy/internal/reseed"
+)
+
+// Distributor is one rdsys-style distribution frontend: a request model
+// (which resources a requester receives, and how the mapping rotates) and
+// a leak profile (how expensive it is for a censor to mint a requester
+// identity on this channel). Implementations must be stateless: Handout
+// must be deterministic in (partition, requester, day) and safe for
+// unbounded concurrent use — sweep cells share distributors.
+type Distributor interface {
+	// Name labels the frontend and places it on the backend hashring.
+	Name() string
+	// Handout returns the resources the frontend serves to requester id on
+	// the given study day. Handouts are sticky per requester and rotate
+	// slowly (the anti-enumeration behaviour of rdsys and the reseed
+	// servers); the error path exists for frontends that round-trip real
+	// encodings (manual-reseed bundles).
+	Handout(part *Partition, id uint64, day int) ([]Resource, error)
+	// HandoutKey returns the ring position Handout would serve id from on
+	// day. Equal keys imply equal handouts, so callers may cache a
+	// handout until the requester's key changes — sparing a re-request's
+	// work (for manual-reseed, a whole bundle round trip) when the
+	// rotation bucket hasn't moved.
+	HandoutKey(id uint64, day int) uint64
+	// IdentityCost is the censor's relative cost to mint one fresh
+	// requester identity: 1.0 = one rotating IP address. Enumerator
+	// budgets divide by it, so high-cost channels leak slowly.
+	IdentityCost() float64
+}
+
+// ringDist implements the shared rdsys request model: a requester's
+// identity hashes to a ring position and receives the next handout
+// resources clockwise; every rotationDays the position shifts, so
+// long-lived users migrate to fresh bridges and crawlers cannot milk one
+// identity forever.
+type ringDist struct {
+	name         string
+	handout      int
+	rotationDays int
+	identityCost float64
+}
+
+func (d *ringDist) Name() string          { return d.name }
+func (d *ringDist) IdentityCost() float64 { return d.identityCost }
+
+// HandoutKey is the deterministic ring position for (requester, day).
+func (d *ringDist) HandoutKey(id uint64, day int) uint64 {
+	bucket := uint64(0)
+	if d.rotationDays > 0 {
+		bucket = uint64(day / d.rotationDays)
+	}
+	return mix(keyOfString(d.name), id, bucket)
+}
+
+func (d *ringDist) Handout(part *Partition, id uint64, day int) ([]Resource, error) {
+	return part.GetMany(d.HandoutKey(id, day), d.handout), nil
+}
+
+// NewHTTPS returns the HTTPS frontend: cheap to query (an IP address is
+// one identity), weekly rotation — the BridgeDB/rdsys web distributor.
+func NewHTTPS() Distributor {
+	return &ringDist{name: "https", handout: 3, rotationDays: 7, identityCost: 1}
+}
+
+// NewEmail returns the email frontend: requesters are mail accounts at
+// providers with priced signup friction.
+func NewEmail() Distributor {
+	return &ringDist{name: "email", handout: 3, rotationDays: 7, identityCost: 8}
+}
+
+// NewSocial returns the social/moat frontend: identities are vouched
+// accounts in a trust graph, expensive to fabricate and slow to rotate.
+func NewSocial() Distributor {
+	return &ringDist{name: "social", handout: 2, rotationDays: 14, identityCost: 40}
+}
+
+// manualReseed is the out-of-band frontend of Section 6.1: a trusted
+// contact exports an i2pseeds.su3 bundle and hands it over outside the
+// network. Handouts are permanently sticky and the bundle is a real
+// reseed-codec round trip, so whatever the codec would reject can never
+// be distributed.
+type manualReseed struct {
+	ringDist
+	signer string
+}
+
+// NewManualReseed returns the manual-reseed frontend backed by
+// internal/reseed's signed seed bundles.
+func NewManualReseed() Distributor {
+	return &manualReseed{
+		ringDist: ringDist{name: "manual-reseed", handout: 5, rotationDays: 0, identityCost: 500},
+		signer:   "trusted-friend",
+	}
+}
+
+func (d *manualReseed) Handout(part *Partition, id uint64, day int) ([]Resource, error) {
+	sel := part.GetMany(d.HandoutKey(id, day), d.handout)
+	if len(sel) == 0 {
+		return nil, nil
+	}
+	records := make([]*netdb.RouterInfo, 0, len(sel))
+	for _, r := range sel {
+		records = append(records, r.Record)
+	}
+	data, err := reseed.CreateBundle(records, d.signer, part.When())
+	if err != nil {
+		return nil, fmt.Errorf("distrib: manual-reseed bundle: %w", err)
+	}
+	bundle, err := reseed.ParseBundle(data)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: manual-reseed bundle: %w", err)
+	}
+	out := make([]Resource, 0, len(bundle.Records))
+	for _, ri := range bundle.Records {
+		r, ok := part.byRecordIdentity(ri.Identity)
+		if !ok {
+			return nil, fmt.Errorf("distrib: bundle record %s not in partition", ri.Identity.Short())
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// DefaultDistributors returns the four frontends of the pipeline in
+// canonical order.
+func DefaultDistributors() []Distributor {
+	return []Distributor{NewHTTPS(), NewEmail(), NewSocial(), NewManualReseed()}
+}

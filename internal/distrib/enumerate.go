@@ -1,0 +1,87 @@
+package distrib
+
+import "fmt"
+
+// EnumeratorKind selects a censor-side discovery strategy.
+type EnumeratorKind int
+
+// The three enumeration strategies the pipeline models.
+const (
+	// Crawler mints fresh requester identities every day (rotating IPs,
+	// throwaway accounts) and harvests their handouts. Its daily request
+	// rate is Budget / distributor identity cost, carried fractionally so
+	// expensive channels leak a trickle instead of rounding to zero.
+	Crawler EnumeratorKind = iota
+	// Sybil pays the identity cost once to establish a persistent fake
+	// population, then re-queries it every day — slower to start than the
+	// crawler but it rides the distributor's handout rotation to new
+	// resources for free.
+	Sybil
+	// Insider intercepts a fraction of legitimate handouts (a compromised
+	// user, a malicious volunteer) — the only strategy that touches the
+	// out-of-band manual-reseed channel.
+	Insider
+)
+
+func (k EnumeratorKind) String() string {
+	switch k {
+	case Crawler:
+		return "crawler"
+	case Sybil:
+		return "sybil"
+	case Insider:
+		return "insider"
+	default:
+		return fmt.Sprintf("EnumeratorKind(%d)", int(k))
+	}
+}
+
+// Enumerator is one censor-side discovery agent. The zero value is not
+// useful; construct via the helpers or fill the fields for a custom
+// profile. Enumerators are immutable descriptions — all per-run state
+// lives in the sweep cell.
+type Enumerator struct {
+	// Kind selects the strategy.
+	Kind EnumeratorKind
+	// Budget is the identity budget: per day for Crawler (fresh identities
+	// minted daily), total for Sybil (the persistent population paid for
+	// once). Divided by the distributor's IdentityCost.
+	Budget float64
+	// InsiderFrac is the per-handout interception probability (Insider).
+	InsiderFrac float64
+}
+
+// Name labels the enumerator in results.
+func (e Enumerator) Name() string { return e.Kind.String() }
+
+// requestsOn returns how many fake requests the enumerator issues against
+// a channel with the given identity cost on horizon day h, threading a
+// fractional carry so sub-daily rates accumulate deterministically.
+func (e Enumerator) requestsOn(cost float64, carry *float64) int {
+	if cost <= 0 {
+		cost = 1
+	}
+	*carry += e.Budget / cost
+	n := int(*carry)
+	*carry -= float64(n)
+	return n
+}
+
+// sybilCount returns the persistent identity population the sybil
+// enumerator affords on a channel with the given identity cost.
+func (e Enumerator) sybilCount(cost float64) int {
+	if cost <= 0 {
+		cost = 1
+	}
+	return int(e.Budget / cost)
+}
+
+// DefaultEnumerators returns the canonical censor lineup: a daily-budget
+// crawler, a same-budget sybil population, and a 3% insider.
+func DefaultEnumerators() []Enumerator {
+	return []Enumerator{
+		{Kind: Crawler, Budget: 25},
+		{Kind: Sybil, Budget: 60},
+		{Kind: Insider, InsiderFrac: 0.03},
+	}
+}

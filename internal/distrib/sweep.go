@@ -1,0 +1,450 @@
+package distrib
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/i2pstudy/i2pstudy/internal/censor"
+	"github.com/i2pstudy/i2pstudy/internal/measure"
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+)
+
+// SweepConfig declares a (distributor x enumeration strategy x day) grid.
+type SweepConfig struct {
+	// Strategy selects the backend's candidate pool.
+	Strategy censor.BridgeStrategy
+	// Distributors are the frontends sharing each day's backend ring.
+	Distributors []Distributor
+	// Enumerators are the censor strategies evaluated against each
+	// frontend.
+	Enumerators []Enumerator
+	// Days are the distribution days; each gets its own backend pool.
+	Days []int
+	// HorizonDays is how many days past distribution each cell simulates
+	// (Day+HorizonDays must stay inside the study window).
+	HorizonDays int
+	// Users is the censored user population per cell (<= 0: 50).
+	Users int
+	// IntroducersPerBridge is how many introducer draws a firewalled
+	// bridge gets per reachability check (<= 0: 3, matching
+	// censor.DefaultBridgeConfig).
+	IntroducersPerBridge int
+	// MaxResources caps each day's backend pool (<= 0: 200).
+	MaxResources int
+	// SeedBase drives every random draw; cells derive private seeds from
+	// it and their own coordinates, never from grid position.
+	SeedBase uint64
+	// Workers caps engine concurrency: <= 0 one worker per CPU, 1 the
+	// serial reference path. Results are byte-identical either way.
+	Workers int
+}
+
+// Cell is one point of the sweep grid.
+type Cell struct {
+	Dist Distributor
+	Enum Enumerator
+	// Day is the distribution day.
+	Day int
+}
+
+// CellResult is one cell's arms-race outcome: per-horizon-day series, all
+// fractions in [0, 1].
+type CellResult struct {
+	Distributor string
+	Enumerator  string
+	Day         int
+	// PartitionSize is how many pool resources the hashring assigned to
+	// this frontend.
+	PartitionSize int
+	// Bootstrap[h] is the fraction of users holding at least one usable
+	// bridge h days after distribution — the bootstrap success rate.
+	Bootstrap []float64
+	// Survival[h] is the fraction of the partition still usable
+	// (active and unblocked) h days after distribution.
+	Survival []float64
+	// Enumerated[h] is the fraction of the partition the censor has
+	// discovered by day h.
+	Enumerated []float64
+	// Collateral[h] is the fraction of the censor's blacklist that, on
+	// day h, blocks addresses currently published by peers *outside* the
+	// bridge pool — innocent bystanders inherited through IP churn.
+	Collateral []float64
+}
+
+// FinalBootstrap returns the last-day bootstrap success rate.
+func (r CellResult) FinalBootstrap() float64 {
+	if len(r.Bootstrap) == 0 {
+		return 0
+	}
+	return r.Bootstrap[len(r.Bootstrap)-1]
+}
+
+// FinalSurvival returns the last-day partition survival.
+func (r CellResult) FinalSurvival() float64 {
+	if len(r.Survival) == 0 {
+		return 0
+	}
+	return r.Survival[len(r.Survival)-1]
+}
+
+// DaysToEnumerate returns the first horizon day on which the censor had
+// discovered at least frac of the partition, or -1 if it never did.
+func (r CellResult) DaysToEnumerate(frac float64) int {
+	for h, e := range r.Enumerated {
+		if e >= frac {
+			return h
+		}
+	}
+	return -1
+}
+
+// Sweep binds a grid to a network with the shared substrate built once:
+// one backend pool per distribution day, the network's address index, and
+// the per-day address-owner tables collateral accounting folds against.
+type Sweep struct {
+	Net *sim.Network
+	Cfg SweepConfig
+
+	ix       *censor.AddrIndex
+	backends map[int]*Backend
+	// owners[d][addrID] is the peer currently publishing the address on
+	// day d, or -1. Built once for the union of evaluation days.
+	owners map[int][]int32
+	// peerByHash resolves RouterInfo introducer hashes back to peer
+	// indexes, so enumerating a firewalled bridge's bundle also leaks the
+	// introducers it published.
+	peerByHash map[netdb.Hash]int
+}
+
+// NewSweep validates the grid and builds the shared backends. Building is
+// serial and deterministic; cells only read from it.
+func NewSweep(network *sim.Network, cfg SweepConfig) (*Sweep, error) {
+	if len(cfg.Distributors) == 0 || len(cfg.Enumerators) == 0 || len(cfg.Days) == 0 {
+		return nil, fmt.Errorf("distrib: sweep needs at least one distributor, enumerator and day")
+	}
+	if cfg.HorizonDays < 0 {
+		return nil, fmt.Errorf("distrib: negative horizon %d", cfg.HorizonDays)
+	}
+	if cfg.Users <= 0 {
+		cfg.Users = 50
+	}
+	if cfg.IntroducersPerBridge <= 0 {
+		cfg.IntroducersPerBridge = 3
+	}
+	if cfg.MaxResources <= 0 {
+		cfg.MaxResources = 200
+	}
+	s := &Sweep{
+		Net:        network,
+		Cfg:        cfg,
+		ix:         censor.IndexFor(network),
+		backends:   make(map[int]*Backend, len(cfg.Days)),
+		owners:     make(map[int][]int32),
+		peerByHash: make(map[netdb.Hash]int, len(network.Peers)),
+	}
+	for _, p := range network.Peers {
+		s.peerByHash[p.ID] = p.Index
+	}
+	for _, day := range cfg.Days {
+		if day+cfg.HorizonDays >= network.Days() {
+			return nil, fmt.Errorf("distrib: horizon (day %d + %d) exceeds network days (%d)",
+				day, cfg.HorizonDays, network.Days())
+		}
+		if _, ok := s.backends[day]; ok {
+			continue
+		}
+		b, err := NewBackend(network, BackendConfig{
+			Strategy:     cfg.Strategy,
+			Day:          day,
+			MaxResources: cfg.MaxResources,
+			Seed:         cfg.SeedBase,
+		}, cfg.Distributors)
+		if err != nil {
+			return nil, err
+		}
+		s.backends[day] = b
+		for h := 0; h <= cfg.HorizonDays; h++ {
+			s.buildOwners(day + h)
+		}
+	}
+	return s, nil
+}
+
+// buildOwners fills the day's addrID -> publishing-peer table.
+func (s *Sweep) buildOwners(day int) {
+	if _, ok := s.owners[day]; ok {
+		return
+	}
+	owners := make([]int32, s.ix.NumAddrs())
+	for i := range owners {
+		owners[i] = -1
+	}
+	for _, idx := range s.Net.ActivePeers(day) {
+		if s.Net.Peers[idx].Status != sim.StatusKnownIP {
+			continue
+		}
+		v4, v6 := s.ix.PeerIDs(idx, day)
+		if v4 >= 0 {
+			owners[v4] = int32(idx)
+		}
+		if v6 >= 0 {
+			owners[v6] = int32(idx)
+		}
+	}
+	s.owners[day] = owners
+}
+
+// Backend returns the shared backend for a distribution day.
+func (s *Sweep) Backend(day int) *Backend { return s.backends[day] }
+
+// Cells enumerates the grid in deterministic order: days outermost, then
+// enumerators, then distributors, each in configured order.
+func (s *Sweep) Cells() []Cell {
+	out := make([]Cell, 0, len(s.Cfg.Days)*len(s.Cfg.Enumerators)*len(s.Cfg.Distributors))
+	for _, day := range s.Cfg.Days {
+		for _, e := range s.Cfg.Enumerators {
+			for _, d := range s.Cfg.Distributors {
+				out = append(out, Cell{Dist: d, Enum: e, Day: day})
+			}
+		}
+	}
+	return out
+}
+
+// cellSeed derives a cell's private seed from its coordinates — never
+// from its grid position, so reshaping the grid cannot change a cell.
+func (s *Sweep) cellSeed(c Cell) uint64 {
+	return mix(s.Cfg.SeedBase,
+		keyOfString(c.Dist.Name()),
+		uint64(c.Enum.Kind)+1,
+		math.Float64bits(c.Enum.Budget),
+		math.Float64bits(c.Enum.InsiderFrac),
+		uint64(c.Day)+1)
+}
+
+// Run evaluates every cell across the worker pool and returns results in
+// Cells() order. The first error (or ctx cancellation) cancels the rest.
+func (s *Sweep) Run(ctx context.Context) ([]CellResult, error) {
+	cells := s.Cells()
+	results := make([]CellResult, len(cells))
+	err := measure.FanOut(ctx, len(cells), s.Cfg.Workers, func(i int) error {
+		res, err := s.runCell(cells[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runCell simulates one cell's arms race over the horizon: each day,
+// users without a working bridge re-request from the frontend, the
+// enumerator harvests, discoveries feed the address blacklist, and the
+// series record the day's outcome. Everything is local to the cell and
+// deterministic in its seed.
+func (s *Sweep) runCell(c Cell) (CellResult, error) {
+	backend := s.backends[c.Day]
+	part := backend.Partition(c.Dist.Name())
+	seed := s.cellSeed(c)
+	rng := rand.New(rand.NewPCG(seed, seed^0xA5A5A5A55A5A5A5A))
+	cost := c.Dist.IdentityCost()
+
+	res := CellResult{
+		Distributor:   c.Dist.Name(),
+		Enumerator:    c.Enum.Name(),
+		Day:           c.Day,
+		PartitionSize: part.Len(),
+	}
+
+	// The censor's enumeration-fed blacklist and discovery set.
+	bl := s.ix.NewSet()
+	discovered := make(map[int]bool, part.Len())
+	discover := func(rs []Resource, day int) {
+		for _, r := range rs {
+			discovered[r.Peer] = true
+			v4, v6 := s.ix.PeerIDs(r.Peer, day)
+			bl.Add(v4)
+			bl.Add(v6)
+			// A firewalled bridge's handout carries introducer addresses
+			// instead of its own; the censor blocks those too — innocent
+			// known-IP relays, which is where collateral damage comes from.
+			for _, ra := range r.Record.Addresses {
+				for _, in := range ra.Introducers {
+					if idx, ok := s.peerByHash[in.Hash]; ok {
+						iv4, iv6 := s.ix.PeerIDs(idx, day)
+						bl.Add(iv4)
+						bl.Add(iv6)
+					}
+				}
+			}
+		}
+	}
+
+	// usable reports whether one handed-out bridge works on `day`:
+	// active, and reachable from behind the firewall despite the
+	// blacklist (directly, or for firewalled bridges through at least one
+	// unblocked introducer).
+	usable := func(r Resource, day int) bool {
+		p := s.Net.Peers[r.Peer]
+		if !p.ActiveOn(day) {
+			return false
+		}
+		switch p.Status {
+		case sim.StatusKnownIP:
+			v4, v6 := s.ix.PeerIDs(r.Peer, day)
+			return !bl.Has(v4) && !bl.Has(v6)
+		case sim.StatusFirewalled, sim.StatusToggling:
+			pool := s.Net.Introducers(day)
+			if len(pool) == 0 {
+				return false
+			}
+			for i := 0; i < s.Cfg.IntroducersPerBridge; i++ {
+				in := pool[rng.IntN(len(pool))]
+				v4, v6 := s.ix.PeerIDs(in.Index, day)
+				if !bl.Has(v4) && !bl.Has(v6) {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	anyUsable := func(rs []Resource, day int) bool {
+		for _, r := range rs {
+			if usable(r, day) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// requester is any sticky identity whose handout is cached by ring
+	// key: equal keys imply equal handouts, so the work (for
+	// manual-reseed, a whole bundle round trip) only reruns when the
+	// rotation bucket moves.
+	type requester struct {
+		id, key uint64
+		handout []Resource
+		fetched bool
+	}
+	fetch := func(r *requester, day int) error {
+		key := c.Dist.HandoutKey(r.id, day)
+		if r.fetched && r.key == key {
+			return nil
+		}
+		hr, err := c.Dist.Handout(part, r.id, day)
+		if err != nil {
+			return err
+		}
+		r.key, r.handout, r.fetched = key, hr, true
+		return nil
+	}
+
+	// Censored users: sticky identities, re-requesting only while cut off.
+	users := make([]requester, s.Cfg.Users)
+	for u := range users {
+		users[u].id = mix(seed, 0x75736572, uint64(u)) // "user"
+	}
+
+	// Sybil populations are established once, before day zero.
+	var sybils []requester
+	if c.Enum.Kind == Sybil {
+		sybils = make([]requester, c.Enum.sybilCount(cost))
+		for i := range sybils {
+			sybils[i].id = mix(seed, 0x737962696C, uint64(i)) // "sybil"
+		}
+	}
+
+	var crawlCarry float64
+	for h := 0; h <= s.Cfg.HorizonDays; h++ {
+		day := c.Day + h
+
+		// 1. Legitimate requests: day zero everyone bootstraps; later,
+		// only users whose current handout no longer works. Every attempt
+		// counts as a request (the insider can intercept each one), even
+		// when the unchanged ring key makes it a cached no-op.
+		var requested []int
+		for u := range users {
+			if h > 0 && anyUsable(users[u].handout, day) {
+				continue
+			}
+			if err := fetch(&users[u], day); err != nil {
+				return CellResult{}, err
+			}
+			requested = append(requested, u)
+		}
+
+		// 2. Enumeration.
+		switch c.Enum.Kind {
+		case Crawler:
+			k := c.Enum.requestsOn(cost, &crawlCarry)
+			for i := 0; i < k; i++ {
+				id := mix(seed, 0x637261776C, uint64(day), uint64(i)) // "crawl"
+				hr, err := c.Dist.Handout(part, id, day)
+				if err != nil {
+					return CellResult{}, err
+				}
+				discover(hr, day)
+			}
+		case Sybil:
+			// Re-discovery stays daily — a re-queried bridge's *current*
+			// address lands on the blacklist even if the handout itself
+			// was cached — so address rotation never shakes the sybils.
+			for i := range sybils {
+				if err := fetch(&sybils[i], day); err != nil {
+					return CellResult{}, err
+				}
+				discover(sybils[i].handout, day)
+			}
+		case Insider:
+			for _, u := range requested {
+				if rng.Float64() < c.Enum.InsiderFrac {
+					discover(users[u].handout, day)
+				}
+			}
+		}
+
+		// 3. The day's outcome.
+		okUsers := 0
+		for u := range users {
+			if anyUsable(users[u].handout, day) {
+				okUsers++
+			}
+		}
+		alive := 0
+		for _, r := range part.Resources() {
+			if usable(r, day) {
+				alive++
+			}
+		}
+		res.Bootstrap = append(res.Bootstrap, frac(okUsers, len(users)))
+		res.Survival = append(res.Survival, frac(alive, part.Len()))
+		res.Enumerated = append(res.Enumerated, frac(len(discovered), part.Len()))
+
+		owners := s.owners[day]
+		bystanders := 0
+		bl.ForEach(func(id int32) {
+			if owner := owners[id]; owner >= 0 && !backend.InPool(int(owner)) {
+				bystanders++
+			}
+		})
+		res.Collateral = append(res.Collateral, frac(bystanders, bl.Len()))
+	}
+	return res, nil
+}
+
+// frac returns n/d, or 0 for an empty denominator.
+func frac(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}

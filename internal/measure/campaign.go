@@ -120,13 +120,17 @@ func (c *Campaign) runSerial(ctx context.Context, ds *Dataset) error {
 		return err
 	}
 	db := c.net.GeoDB()
+	// One merge map reused across days: each day starts from an empty map
+	// (the daily netDb cleanup) but keeps the previous day's capacity, so
+	// a long campaign stops paying rehash-and-discard per day.
+	merged := make(map[netdb.Hash]*netdb.RouterInfo)
 	for day := c.cfg.StartDay; day < c.cfg.EndDay; day++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		// Merge all observers' captures for the day, newest record wins;
 		// on a Published tie the earliest observer wins.
-		merged := make(map[netdb.Hash]*netdb.RouterInfo)
+		clear(merged)
 		for _, o := range c.obs {
 			for _, ri := range o.CollectDay(day) {
 				prev, ok := merged[ri.Identity]
@@ -181,6 +185,15 @@ func (c *Campaign) runParallel(ctx context.Context, ds *Dataset, workers int) er
 	}
 	mergedCh := make(chan *mergedDay, nDays)
 
+	// Shard maps are recycled across days: the accumulator clears and
+	// returns each consumed day's maps to the pool, so at steady state the
+	// engine holds roughly (in-flight days x shards) maps instead of
+	// allocating one set per day — the difference between O(days) and
+	// O(workers) map churn at 30K+ peers. Recycling cannot affect results:
+	// a map is only returned after accumulateDay and the snapshot write
+	// are both done with it.
+	mapPool := sync.Pool{New: func() any { return make(map[netdb.Hash]*netdb.RouterInfo) }}
+
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -202,7 +215,7 @@ func (c *Campaign) runParallel(ctx context.Context, ds *Dataset, workers int) er
 				wg.Add(1)
 				go func(s int) {
 					defer wg.Done()
-					m := make(map[netdb.Hash]*netdb.RouterInfo)
+					m := mapPool.Get().(map[netdb.Hash]*netdb.RouterInfo)
 					for o := 0; o < nObs; o++ {
 						for _, ri := range captures[di][o][s] {
 							prev, ok := m[ri.Identity]
@@ -240,6 +253,11 @@ func (c *Campaign) runParallel(ctx context.Context, ds *Dataset, workers int) er
 				accErr = err
 				cancel() // stop the capture pool; drain below
 			}
+			for _, shard := range m.shards {
+				clear(shard)
+				mapPool.Put(shard)
+			}
+			m.shards = nil
 			next++
 		}
 	}

@@ -2,6 +2,7 @@ package reseed
 
 import (
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"net/netip"
 	"path/filepath"
@@ -266,6 +267,65 @@ func TestHTTPHandlerMethodNotAllowed(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 405 {
 		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// censorBlocked is what an address-blacklisted reseed server looks like
+// to a censored client: the TCP path works (the middlebox intercepts)
+// but every request dies without a bundle.
+var censorBlocked http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "connection reset by censor", http.StatusForbidden)
+})
+
+// TestManualReseedAllServersBlacklisted is the Section 6.1 escape hatch
+// over live HTTP servers — the path the distrib ManualReseed frontend
+// relies on: every reseed server is blacklisted, so HTTP bootstrap fails
+// against each of them, and only a friend's out-of-band i2pseeds.su3
+// bundle restores access.
+func TestManualReseedAllServersBlacklisted(t *testing.T) {
+	records := makeRecords(300)
+	var blocked []*httptest.Server
+	for i := 0; i < 3; i++ {
+		ts := httptest.NewServer(censorBlocked)
+		defer ts.Close()
+		blocked = append(blocked, ts)
+	}
+	// Every reseed URL is unusable: FetchHTTP must surface the censor's
+	// non-200 answer, never a partial bundle.
+	for _, ts := range blocked {
+		if _, err := FetchHTTP(ts.Client(), ts.URL+"/"+SeedFileName); err == nil {
+			t.Fatal("blacklisted reseed served a bundle")
+		}
+	}
+
+	// A friend outside the censored region still reaches a real server
+	// and exports the bundle out of band.
+	open := httptest.NewServer(NewServer("open-reseed", 75, staticProvider(records), 29).Handler())
+	defer open.Close()
+	friendView, err := FetchHTTP(open.Client(), open.URL+"/"+SeedFileName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), SeedFileName)
+	if err := WriteSeedFile(path, friendView.Records, "friend", time.Now().UTC()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The blocked user bootstraps from the file alone.
+	b, err := ReadSeedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Signer != "friend" || len(b.Records) != len(friendView.Records) {
+		t.Fatalf("manual bundle: %d records signed %q", len(b.Records), b.Signer)
+	}
+	store := netdb.NewStore(false)
+	now := time.Now().UTC()
+	for _, ri := range b.Records {
+		store.PutRouterInfo(ri, now)
+	}
+	if store.RouterCount() != len(b.Records) {
+		t.Fatalf("store has %d records after manual reseed, want %d", store.RouterCount(), len(b.Records))
 	}
 }
 

@@ -78,25 +78,43 @@ type ObserverConfig struct {
 // filter (Section 4.1).
 const MaxSharedKBps = 8192
 
+// observeMemoCap bounds the per-observer ObserveDay memo: a full 90-day
+// study fits entirely, while long-lived fleets revisiting arbitrary days
+// (enumeration sweeps, multi-horizon grids) stay at O(cap x sightings)
+// instead of retaining every day ever visited. Evicted days simply redraw
+// — draws are pure in (seed, day), so eviction can never change a result.
+const observeMemoCap = 128
+
+// memoEntry is one memoized day's draw. The once gate lets concurrent
+// first callers share a single draw without any observer-level lock
+// during the computation.
+type memoEntry struct {
+	once sync.Once
+	idxs []int
+}
+
 // Observer is an instantiated measurement router on a network.
 //
 // Every observation method derives a private RNG from (Seed, day), so
 // calls are idempotent, days can be visited in any order, and one Observer
 // may be driven from many goroutines at once (the parallel campaign engine
 // and the censor sweep engine do exactly that). The only mutable state is
-// a memo of per-day draws, which callers never see directly: repeated
-// ObserveDay calls return the same (shared, read-only) slice instead of
-// redrawing, so sweeps that revisit (observer, day) cells — blacklist
-// windows sliding over the same days, fleet prefixes sharing routers —
-// pay for each capture once.
+// a bounded memo of per-day draws, which callers never see directly:
+// repeated ObserveDay calls return the same (shared, read-only) slice
+// instead of redrawing, so sweeps that revisit (observer, day) cells —
+// blacklist windows sliding over the same days, fleet prefixes sharing
+// routers — pay for each capture once while it stays resident.
 type Observer struct {
 	Cfg ObserverConfig
 	net *Network
 
-	// memo caches ObserveDay results keyed by day. Memory is bounded by
-	// (days visited) x (peers seen) per observer and is released with the
-	// observer itself; campaigns drop their fleets after the run.
-	memo sync.Map // int -> []int
+	// memo caches ObserveDay results keyed by day. Hits are lock-free;
+	// residency is bounded by a FIFO ring of memoized days (mu guards the
+	// ring only, so insertion-order eviction never contends with hits).
+	memo    sync.Map // int -> *memoEntry
+	mu      sync.Mutex
+	ring    []int // circular buffer of memoized days, len <= observeMemoCap
+	ringPos int
 }
 
 // NewObserver attaches an observer to the network. Bandwidth is clamped to
@@ -171,13 +189,39 @@ func (o *Observer) dayRNG(day int) *rand.Rand {
 
 // ObserveDay returns the indexes of peers the observer sees on the given
 // study day. The result is deterministic for a given (seed, day) and is
-// memoized: callers receive a shared slice and must not modify it.
+// memoized in a bounded FIFO ring (observeMemoCap days): callers receive
+// a shared slice and must not modify it. After an eviction a revisited
+// day is redrawn to an identical — though distinct — slice.
 func (o *Observer) ObserveDay(day int) []int {
+	// Hit path: lock-free, exactly like the unbounded sync.Map memo was —
+	// sweeps hammering resident (observer, day) cells never serialize.
 	if v, ok := o.memo.Load(day); ok {
-		return v.([]int)
+		e := v.(*memoEntry)
+		e.once.Do(func() { e.idxs = o.observeDay(day) })
+		return e.idxs
 	}
-	v, _ := o.memo.LoadOrStore(day, o.observeDay(day))
-	return v.([]int)
+	e := &memoEntry{}
+	if v, loaded := o.memo.LoadOrStore(day, e); loaded {
+		e = v.(*memoEntry)
+	} else {
+		// This goroutine inserted the entry: record the day in the ring,
+		// evicting insertion-order when full. Evicting an entry another
+		// goroutine still holds is benign — its draw completes and is
+		// simply recomputed on the day's next visit.
+		o.mu.Lock()
+		if len(o.ring) < observeMemoCap {
+			o.ring = append(o.ring, day)
+		} else {
+			o.memo.Delete(o.ring[o.ringPos])
+			o.ring[o.ringPos] = day
+			o.ringPos = (o.ringPos + 1) % observeMemoCap
+		}
+		o.mu.Unlock()
+	}
+	// The draw runs outside any observer lock so distinct days never
+	// serialize; concurrent callers of one day share the entry's once.
+	e.once.Do(func() { e.idxs = o.observeDay(day) })
+	return e.idxs
 }
 
 // observeDay performs the actual (seed, day)-deterministic draw.

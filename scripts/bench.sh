@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
 # bench.sh — engine perf trajectories.
 #
-# Runs the serial and parallel benchmark pairs for the two engines and
+# Runs the serial and parallel benchmark pairs for the three engines and
 # writes one JSON file per pair, so CI (and future PRs) can track their
 # scaling over time:
 #
 #   BENCH_campaign.json — measure.Campaign (the Section 5 pipeline)
 #   BENCH_censor.json   — the Figure 13 adversary sweep (Sections 6-7)
+#   BENCH_distrib.json  — the bridge-distribution arms-race sweep
 #
 # Usage:
 #
-#   ./scripts/bench.sh [campaign.json [censor.json]]
+#   ./scripts/bench.sh [campaign.json [censor.json [distrib.json]]]
 #
 # The speedups are hardware-relative: ~1.0 on a single core, >= 2x
 # expected at 4 cores (per-(day, observer) captures and sweep cells are
@@ -20,6 +21,7 @@ cd "$(dirname "$0")/.."
 
 campaign_out="${1:-BENCH_campaign.json}"
 censor_out="${2:-BENCH_censor.json}"
+distrib_out="${3:-BENCH_distrib.json}"
 benchtime="${BENCHTIME:-3x}"
 
 cores="$(go env GOMAXPROCS 2>/dev/null || echo 0)"
@@ -58,3 +60,6 @@ run_pair ./internal/measure/ 'BenchmarkCampaign(Serial|Parallel)$' \
 
 run_pair ./internal/censor/ 'BenchmarkFigure13Sweep(Serial|Parallel)$' \
   BenchmarkFigure13SweepSerial BenchmarkFigure13SweepParallel censor-sweep-engine "$censor_out"
+
+run_pair ./internal/distrib/ 'BenchmarkDistribSweep(Serial|Parallel)$' \
+  BenchmarkDistribSweepSerial BenchmarkDistribSweepParallel distrib-sweep-engine "$distrib_out"
