@@ -248,7 +248,10 @@ func BenchmarkMainCampaignParallel(b *testing.B) { benchmarkMainCampaign(b, 0) }
 // width. In -short mode the shared study is scaled down but the pair
 // still runs, so the CI bench smoke exercises the sweep engine; the
 // focused serial/parallel trajectory pair lives in internal/censor and
-// feeds BENCH_censor.json via scripts/bench.sh.
+// feeds BENCH_censor.json via scripts/bench.sh, and the rolling-window
+// engine's rolling-vs-from-scratch trio (BenchmarkSweepRolling*,
+// BenchmarkSweepFromScratchSerial) feeds BENCH_rolling.json from the
+// same package.
 func benchmarkAdversarySweep(b *testing.B, workers int) {
 	s := benchStudy(b)
 	day := s.Opts.Days - 5

@@ -1,0 +1,85 @@
+// Package cache provides the bounded per-day memo the engines share: a
+// lock-free-on-hit map of day -> value with FIFO-ring residency, the
+// pattern sim.Observer.ObserveDay introduced for its draw memo. Values
+// must be pure functions of (owner state, day) — eviction simply
+// recomputes an identical value on the day's next visit, so a memo can
+// never change a result, only its cost.
+package cache
+
+import "sync"
+
+// DefaultDayMemoCap bounds a DayMemo whose Cap field is zero: a full
+// 90-day study stays resident, while long-lived owners revisiting
+// arbitrary days (enumeration sweeps, multi-horizon grids) stay at
+// O(cap x value size) instead of retaining every day ever computed.
+const DefaultDayMemoCap = 128
+
+// DayMemo memoizes one value per day with bounded residency. The zero
+// value is ready to use (Cap <= 0 selects DefaultDayMemoCap; set Cap
+// before first use to override). Hits are lock-free on a sync.Map; the
+// mutex guards only the FIFO eviction ring, so insertion-order eviction
+// never contends with hits. Concurrent first callers of one day share a
+// single compute through the entry's once. A DayMemo must not be copied
+// after first use.
+type DayMemo[T any] struct {
+	// Cap bounds how many days stay resident (<= 0: DefaultDayMemoCap).
+	Cap int
+
+	memo    sync.Map // int -> *dayMemoEntry[T]
+	mu      sync.Mutex
+	ring    []int // circular buffer of memoized days, len <= cap
+	ringPos int
+}
+
+// dayMemoEntry is one memoized day. The once gate lets concurrent first
+// callers share a single compute without any memo-level lock during it.
+type dayMemoEntry[T any] struct {
+	once sync.Once
+	v    T
+}
+
+// Get returns the day's value, computing it at most once while the day
+// stays resident. compute must be pure in (owner state, day); the result
+// is shared across callers and must be treated as read-only.
+func (m *DayMemo[T]) Get(day int, compute func(day int) T) T {
+	// Hit path: lock-free, so callers hammering resident days (sweep
+	// rows revisiting one victim day per (fleet, window)) never serialize.
+	if v, ok := m.memo.Load(day); ok {
+		e := v.(*dayMemoEntry[T])
+		e.once.Do(func() { e.v = compute(day) })
+		return e.v
+	}
+	e := &dayMemoEntry[T]{}
+	if v, loaded := m.memo.LoadOrStore(day, e); loaded {
+		e = v.(*dayMemoEntry[T])
+	} else {
+		// This goroutine inserted the entry: record the day in the ring,
+		// evicting insertion-order when full. Evicting an entry another
+		// goroutine still holds is benign — its compute completes and is
+		// simply redone on the day's next visit.
+		m.mu.Lock()
+		cap := m.Cap
+		if cap <= 0 {
+			cap = DefaultDayMemoCap
+		}
+		if len(m.ring) < cap {
+			m.ring = append(m.ring, day)
+		} else {
+			m.memo.Delete(m.ring[m.ringPos])
+			m.ring[m.ringPos] = day
+			m.ringPos = (m.ringPos + 1) % cap
+		}
+		m.mu.Unlock()
+	}
+	// The compute runs outside the ring lock so distinct days never
+	// serialize; concurrent callers of one day share the entry's once.
+	e.once.Do(func() { e.v = compute(day) })
+	return e.v
+}
+
+// Resident reports how many days are currently memoized (ring length).
+func (m *DayMemo[T]) Resident() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.ring)
+}

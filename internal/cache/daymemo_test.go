@@ -1,0 +1,93 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDayMemoComputesOncePerResidentDay(t *testing.T) {
+	var m DayMemo[int]
+	var computes atomic.Int32
+	compute := func(day int) int {
+		computes.Add(1)
+		return day * 10
+	}
+	for i := 0; i < 3; i++ {
+		for day := 0; day < 4; day++ {
+			if got := m.Get(day, compute); got != day*10 {
+				t.Fatalf("Get(%d) = %d, want %d", day, got, day*10)
+			}
+		}
+	}
+	if got := computes.Load(); got != 4 {
+		t.Fatalf("computed %d times, want 4 (once per day)", got)
+	}
+	if m.Resident() != 4 {
+		t.Fatalf("resident = %d, want 4", m.Resident())
+	}
+}
+
+func TestDayMemoEvictsFIFOAndRecomputesIdentically(t *testing.T) {
+	m := DayMemo[int]{Cap: 2}
+	var computes atomic.Int32
+	compute := func(day int) int {
+		computes.Add(1)
+		return day * 10
+	}
+	m.Get(0, compute) // ring: [0]
+	m.Get(1, compute) // ring: [0 1]
+	m.Get(2, compute) // evicts 0, ring: [2 1]
+	if m.Resident() != 2 {
+		t.Fatalf("resident = %d, want cap 2", m.Resident())
+	}
+	if got := m.Get(1, compute); got != 10 {
+		t.Fatalf("resident day recomputed wrong: %d", got)
+	}
+	if computes.Load() != 3 {
+		t.Fatalf("computed %d times before revisit, want 3", computes.Load())
+	}
+	// Day 0 was evicted: revisiting recomputes the identical value and
+	// evicts the next FIFO slot (1).
+	if got := m.Get(0, compute); got != 0 {
+		t.Fatalf("evicted day recomputed wrong: %d", got)
+	}
+	if computes.Load() != 4 {
+		t.Fatalf("computed %d times after revisit, want 4", computes.Load())
+	}
+	m.Get(2, compute) // still resident
+	if computes.Load() != 4 {
+		t.Fatal("day 2 should have stayed resident across the eviction")
+	}
+}
+
+// TestDayMemoConcurrentFirstCallersShareOneCompute: many goroutines
+// hitting one cold day observe exactly one compute (the entry's once),
+// and all see the same value.
+func TestDayMemoConcurrentFirstCallersShareOneCompute(t *testing.T) {
+	var m DayMemo[[]int]
+	var computes atomic.Int32
+	compute := func(day int) []int {
+		computes.Add(1)
+		return []int{day, day + 1}
+	}
+	const goroutines = 16
+	results := make([][]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[g] = m.Get(7, compute)
+		}()
+	}
+	wg.Wait()
+	if computes.Load() != 1 {
+		t.Fatalf("computed %d times, want 1", computes.Load())
+	}
+	for g := 1; g < goroutines; g++ {
+		if &results[g][0] != &results[0][0] {
+			t.Fatal("concurrent callers received different slices")
+		}
+	}
+}

@@ -154,10 +154,13 @@ func EvaluateBridgesContext(ctx context.Context, network *sim.Network, windowDay
 	}
 	// One blocked-peer predicate per horizon day, evaluated as sweep
 	// cells; cells[i].Day == days[i] because fleets and windows are
-	// singleton and Cells() enumerates days outermost.
+	// singleton and Cells() enumerates days outermost. The grid is a
+	// single rolling row — the blacklist slides across the horizon — and
+	// each cursor snapshots its day's set so the predicates survive past
+	// the sweep for the serial survival fold below.
 	blocked := make([]func(int) bool, cfg.HorizonDays+1)
-	err = sw.Each(ctx, func(i int, cell Cell) error {
-		blocked[i] = sw.BlockedPeerFunc(cell)
+	err = sw.Each(ctx, func(i int, cu *Cursor) error {
+		blocked[i] = cu.BlockedPeerFunc()
 		return nil
 	})
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"net/netip"
 	"sync"
 
+	"github.com/i2pstudy/i2pstudy/internal/cache"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 	"github.com/i2pstudy/i2pstudy/internal/stats"
 )
@@ -144,6 +145,15 @@ type Victim struct {
 	// cover — one of the two reasons wider windows raise blocking rates
 	// (the other being accumulation over rotating addresses).
 	NetDbWindowDays int
+
+	// addrSets and knownPeers memoize the per-day netDb views in bounded
+	// rings (cache.DefaultDayMemoCap days, like sim's ObserveDay memo):
+	// every sweep cell sharing a day folds against the same victim view,
+	// so without the memo a (fleet x window) grid recomputes it
+	// fleets x windows times per day. Values are pure in (victim, day),
+	// shared across callers, and strictly read-only.
+	addrSets   cache.DayMemo[*AddrSet]
+	knownPeers cache.DayMemo[[]int]
 }
 
 // NewVictim creates the stable client. It observes as an ordinary
@@ -173,11 +183,20 @@ func retainStale(idx, d int) bool {
 }
 
 // addrSet returns the victim's known peer addresses on `day` as a set
-// over the address index — KnownAddresses without the map
-// materialization: for every peer observed within the netDb window (today
-// fully, earlier days subject to expiry), the address the peer published
-// on the observation day.
+// over the address index, memoized per day in a bounded ring. The set is
+// shared by every caller (all cells of a sweep that evaluate the day)
+// and must not be mutated.
 func (v *Victim) addrSet(day int) *AddrSet {
+	return v.addrSets.Get(day, v.buildAddrSet)
+}
+
+// buildAddrSet is the from-scratch reference compute behind addrSet —
+// KnownAddresses without the map materialization: for every peer
+// observed within the netDb window (today fully, earlier days subject to
+// expiry), the address the peer published on the observation day. The
+// golden equivalence tests and the pre-rolling benchmark comparator call
+// it directly to reproduce the unmemoized per-cell cost.
+func (v *Victim) buildAddrSet(day int) *AddrSet {
 	set := v.ix.NewSet()
 	start := day - v.NetDbWindowDays + 1
 	if start < 0 {
@@ -211,9 +230,19 @@ func (v *Victim) KnownAddresses(day int) map[netip.Addr]bool {
 }
 
 // KnownPeers returns the peer indexes in the victim's netDb on `day`
-// (all statuses), used by the usability and bridge experiments.
+// (all statuses), used by the usability and bridge experiments — which
+// call it per day per sweep cell, so the result is memoized per day in
+// a bounded ring. Callers receive a shared slice and must not modify it.
 func (v *Victim) KnownPeers(day int) []int {
-	seen := make(map[int]bool)
+	return v.knownPeers.Get(day, v.buildKnownPeers)
+}
+
+// buildKnownPeers is the from-scratch compute behind KnownPeers. The
+// dedup runs on a bitset over peer indexes instead of the historical
+// map[int]bool — same first-seen append order, so the memoized slice is
+// byte-identical to what the map-based fold produced.
+func (v *Victim) buildKnownPeers(day int) []int {
+	seen := make([]uint64, (len(v.net.Peers)+63)/64)
 	var out []int
 	start := day - v.NetDbWindowDays + 1
 	if start < 0 {
@@ -224,8 +253,8 @@ func (v *Victim) KnownPeers(day int) []int {
 			if d < day && !retainStale(idx, d) {
 				continue
 			}
-			if !seen[idx] {
-				seen[idx] = true
+			if w, b := idx>>6, uint64(1)<<(idx&63); seen[w]&b == 0 {
+				seen[w] |= b
 				out = append(out, idx)
 			}
 		}
@@ -297,7 +326,8 @@ func Figure13Context(ctx context.Context, network *sim.Network, maxRouters int, 
 	}
 	cells := sw.Cells()
 	series := make([][]float64, len(cells))
-	err = sw.Each(ctx, func(i int, cell Cell) error {
+	err = sw.Each(ctx, func(i int, cu *Cursor) error {
+		cell := cu.Cell()
 		series[i] = sw.BlockingSeries(cell.Window, cell.Day, cell.Fleet)
 		return nil
 	})

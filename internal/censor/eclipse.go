@@ -37,16 +37,20 @@ type EclipseResult struct {
 
 // eclipseCell evaluates the Section 7.2 scenario for one sweep cell: the
 // censor blocks every observed peer address, and `injected` whitelisted
-// attacker routers join the victim's usable view.
-func (s *Sweep) eclipseCell(cell Cell, injected int) EclipseResult {
-	blocked := s.BlockedPeerFunc(cell)
+// attacker routers join the victim's usable view. It folds the cursor's
+// live rolling blacklist directly — no snapshot needed, everything
+// happens inside the callback.
+func (s *Sweep) eclipseCell(cu *Cursor, injected int) EclipseResult {
+	cell := cu.Cell()
+	bl := cu.Blacklist()
+	ix := s.Censor.ix
 	usableHonest := 0
 	for _, idx := range s.Victim.KnownPeers(cell.Day) {
 		// Only peers with contactable addresses matter for tunnels.
 		if s.Net.Peers[idx].Status != sim.StatusKnownIP {
 			continue
 		}
-		if !blocked(idx) {
+		if v4, v6 := ix.PeerIDs(idx, cell.Day); !bl.Has(v4) && !bl.Has(v6) {
 			usableHonest++
 		}
 	}
@@ -78,7 +82,12 @@ func EclipseAttack(network *sim.Network, censorRouters, windowDays, injected, da
 	if err != nil {
 		return EclipseResult{}, err
 	}
-	return sw.eclipseCell(sw.Cells()[0], injected), nil
+	var res EclipseResult
+	err = sw.Each(context.Background(), func(i int, cu *Cursor) error {
+		res = sw.eclipseCell(cu, injected)
+		return nil
+	})
+	return res, err
 }
 
 // EclipseSweep evaluates the attack across censor fleet sizes, producing
@@ -107,8 +116,8 @@ func EclipseSweepContext(ctx context.Context, network *sim.Network, fleets []int
 		return nil, nil, err
 	}
 	results := make([]EclipseResult, len(fleets))
-	err = sw.Each(ctx, func(i int, cell Cell) error {
-		results[i] = sw.eclipseCell(cell, injected)
+	err = sw.Each(ctx, func(i int, cu *Cursor) error {
+		results[i] = sw.eclipseCell(cu, injected)
 		return nil
 	})
 	if err != nil {

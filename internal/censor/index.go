@@ -126,9 +126,32 @@ func (s *AddrSet) AddAll(ids []int32) {
 	}
 }
 
+// Remove deletes id and reports whether it was present. Negative IDs are
+// never members.
+func (s *AddrSet) Remove(id int32) bool {
+	if id < 0 {
+		return false
+	}
+	w, b := id>>6, uint64(1)<<(id&63)
+	if s.words[w]&b == 0 {
+		return false
+	}
+	s.words[w] &^= b
+	s.count--
+	return true
+}
+
 // Has reports membership; negative IDs are never members.
 func (s *AddrSet) Has(id int32) bool {
 	return id >= 0 && s.words[id>>6]&(uint64(1)<<(id&63)) != 0
+}
+
+// Clone returns an independent copy of the set. Cursor.BlockedPeerFunc
+// snapshots the live rolling set this way, so predicates stay valid
+// after their row slides on; one O(words) copy per cell is still far
+// cheaper than the from-scratch union it replaces.
+func (s *AddrSet) Clone() *AddrSet {
+	return &AddrSet{words: append([]uint64(nil), s.words...), count: s.count}
 }
 
 // Len returns the number of addresses in the set.

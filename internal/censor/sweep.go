@@ -13,12 +13,18 @@ import (
 // (Figure 13 blocking rates, the eclipse escalation, the bridge-strategy
 // survival curves) are declarative grids of (fleet size x blacklist window
 // x day) cells over one shared adversary — a censor fleet built once at
-// the maximum size, a victim, and the network's address index. Captures
-// and cell evaluations fan out across the same worker pool as
-// measure.ObserveGrid and inherit its determinism contract: every cell
-// writes into a slot indexed by its grid position, observations are
-// deterministic in (observer seed, day), and folds run in grid order — so
-// any Workers value yields byte-identical figures.
+// the maximum size, a victim, and the network's address index.
+//
+// Scheduling is rolling: cells group into (window, fleet) rows with days
+// ascending, rows fan out across the same worker pool as
+// measure.ObserveGrid (measure.FanRows), and each row slides one
+// WindowCounter across its days, paying only for the entering and
+// expiring day-slices instead of re-unioning k x window router-days per
+// cell. The determinism contract is unchanged: every cell writes into a
+// slot indexed by its grid position, observations are deterministic in
+// (observer seed, day), the rolling set is byte-identical to the
+// from-scratch union at every cell, and folds run in grid order — so any
+// Workers value yields byte-identical figures.
 
 // SweepConfig declares an adversary sweep grid.
 type SweepConfig struct {
@@ -165,30 +171,153 @@ func (s *Sweep) Capture(ctx context.Context) error {
 	return err
 }
 
-// Each evaluates fn for every cell across the worker pool. fn receives
-// the cell's position in Cells() order so callers write results into
-// preallocated slots — the determinism contract of measure.ObserveGrid
-// applied to whole adversary cells. The first error (or ctx cancellation)
-// cancels the remaining cells.
-func (s *Sweep) Each(ctx context.Context, fn func(i int, cell Cell) error) error {
+// rowPlan groups Cells() indices into rolling rows: one row per
+// (window, fleet) pair, days ascending. Cells() enumerates days
+// outermost, so cell i belongs to row i % (windows x fleets); sorting a
+// row by day (stably — equal days share a blacklist, so order between
+// them cannot matter) guarantees its WindowCounter only ever slides
+// forward.
+func (s *Sweep) rowPlan(cells []Cell) measure.RowPlan {
+	rows := len(s.Cfg.Windows) * len(s.Cfg.Fleets)
+	return measure.PlanRows(len(cells), rows,
+		func(i int) int { return i % rows },
+		func(i int) int { return cells[i].Day })
+}
+
+// rowState is one row's rolling blacklist: a WindowCounter covering the
+// day range [lo, hi] for the row's fixed (fleet, window).
+type rowState struct {
+	wc     *WindowCounter
+	lo, hi int
+}
+
+// advance slides the row's counter to cover (day-window, day] for fleet
+// size k. Within a row days only move forward (rowPlan sorts ascending),
+// so advancing adds the entering day-slices and removes the expiring
+// ones — O(Δ-per-day) instead of the k x window from-scratch union every
+// cell used to pay. A gap wider than the window degrades gracefully: the
+// disjoint old range expires wholesale before the new one folds in.
+func (st *rowState) advance(c *Censor, k, window, day int) {
+	lo := day - window + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if st.wc == nil {
+		st.wc = c.ix.NewWindowCounter()
+		st.lo, st.hi = lo, lo-1 // empty: the fill below adds lo..day
+	} else if day == st.hi {
+		return // duplicate day: same window, nothing slides
+	} else if lo > st.hi {
+		// No overlap with the current range: expire it entirely.
+		for d := st.lo; d <= st.hi; d++ {
+			for r := 0; r < k; r++ {
+				st.wc.RemoveDay(c.observedIDs(r, d))
+			}
+		}
+		st.lo, st.hi = lo, lo-1
+	}
+	for d := st.hi + 1; d <= day; d++ {
+		for r := 0; r < k; r++ {
+			st.wc.AddDay(c.observedIDs(r, d))
+		}
+	}
+	for d := st.lo; d < lo; d++ {
+		for r := 0; r < k; r++ {
+			st.wc.RemoveDay(c.observedIDs(r, d))
+		}
+	}
+	st.lo, st.hi = lo, day
+}
+
+// Cursor is one cell's rolling adversary view, handed to Sweep.Each
+// callbacks. Its blacklist is the live set of the row's WindowCounter —
+// byte-identical to the from-scratch Sweep.Blacklist of the same cell
+// (the golden rolling-equivalence tests enforce this) but built by
+// sliding, not re-unioning. The live set is only valid until the
+// callback returns; BlockedPeerFunc snapshots, so its predicate outlives
+// the row.
+type Cursor struct {
+	s    *Sweep
+	cell Cell
+	st   *rowState
+}
+
+// Cell returns the cursor's grid cell.
+func (cu *Cursor) Cell() Cell { return cu.cell }
+
+// counter advances the row to this cell lazily, on first accessor use:
+// callbacks that only read coordinates (Figure 13's, which slides its
+// own counter along the fleet axis via BlockingSeries) never pay for
+// rolling state they don't fold. advance is idempotent per cell —
+// within a row days only move forward and a revisited day is a cheap
+// bounds check — so repeated accessor calls cost nothing extra, and a
+// row whose earlier cells skipped their counters simply slides further
+// on the first cell that uses one.
+func (cu *Cursor) counter() *WindowCounter {
+	cu.st.advance(cu.s.Censor, cu.cell.Fleet, cu.cell.Window, cu.cell.Day)
+	return cu.st.wc
+}
+
+// Blacklist returns the cell's blacklist as the row's live set. Callers
+// must not mutate it or retain it past the callback — the row slides on.
+func (cu *Cursor) Blacklist() *AddrSet { return cu.counter().Set() }
+
+// BlockingRate returns the cell's blocking rate against the sweep
+// victim, folding the live rolling set against the memoized victim view.
+func (cu *Cursor) BlockingRate() float64 {
+	vic := cu.s.Victim.addrSet(cu.cell.Day)
+	if vic.Len() == 0 {
+		return 0
+	}
+	return float64(cu.counter().Set().IntersectCount(vic)) / float64(vic.Len())
+}
+
+// BlockedPeerFunc returns the cell's peer-blocking predicate over a
+// snapshot of the rolling blacklist, valid after the callback returns
+// (the bridge fold keeps one predicate per horizon day).
+func (cu *Cursor) BlockedPeerFunc() func(peerIdx int) bool {
+	set := cu.counter().Set().Clone()
+	ix := cu.s.Censor.ix
+	day := cu.cell.Day
+	return func(idx int) bool {
+		v4, v6 := ix.PeerIDs(idx, day)
+		return set.Has(v4) || set.Has(v6)
+	}
+}
+
+// Each evaluates fn for every cell of the grid. Cells are scheduled as
+// rolling rows — one (window, fleet) row per worker at a time, days
+// ascending, each row sliding one WindowCounter across its days (lazily,
+// on first cursor access) — but fn still receives the cell's position in
+// Cells() order, so callers write results into preallocated slots and
+// the determinism contract of measure.ObserveGrid applies unchanged: any
+// Workers value yields byte-identical results. The first error (or ctx
+// cancellation) stops the remaining cells.
+func (s *Sweep) Each(ctx context.Context, fn func(i int, cu *Cursor) error) error {
 	cells := s.Cells()
-	return measure.FanOut(ctx, len(cells), s.Cfg.Workers, func(i int) error {
-		return fn(i, cells[i])
+	plan := s.rowPlan(cells)
+	states := make([]rowState, len(plan))
+	return measure.FanRows(ctx, plan, s.Cfg.Workers, func(row, i int) error {
+		return fn(i, &Cursor{s: s, cell: cells[i], st: &states[row]})
 	})
 }
 
 // Blacklist returns the cell's blacklist as a set over the network's
-// address index.
+// address index, built from scratch — the reference the rolling Cursor
+// path is tested byte-identical against. Hot grid folds should use
+// Each's cursors instead.
 func (s *Sweep) Blacklist(cell Cell) *AddrSet {
 	return s.Censor.blacklistSet(cell.Fleet, cell.Window, cell.Day)
 }
 
-// BlockedPeerFunc returns the cell's peer-blocking predicate.
+// BlockedPeerFunc returns the cell's peer-blocking predicate over a
+// from-scratch blacklist (see Blacklist).
 func (s *Sweep) BlockedPeerFunc(cell Cell) func(peerIdx int) bool {
 	return s.Censor.blockedPeerFunc(cell.Fleet, cell.Window, cell.Day)
 }
 
-// BlockingRate returns the cell's blocking rate against the sweep victim.
+// BlockingRate returns the cell's blocking rate against the sweep victim
+// over a from-scratch blacklist (see Blacklist).
 func (s *Sweep) BlockingRate(cell Cell) float64 {
 	vic := s.Victim.addrSet(cell.Day)
 	if vic.Len() == 0 {
@@ -200,14 +329,21 @@ func (s *Sweep) BlockingRate(cell Cell) float64 {
 
 // BlockingSeries returns the cumulative blocking-rate fractions against
 // the sweep victim for fleet prefixes 1..maxFleet at (window, day) — one
-// Figure 13 curve. The blacklist is built incrementally: adding router k
-// extends the union, and each newly blacklisted address checks victim
-// membership in O(1), so the whole series costs one pass over each
-// router-day's observations instead of a map rebuild per fleet size.
+// Figure 13 curve. It rides the same rolling substrate as the row
+// scheduler, sliding along the fleet axis instead of the day axis: a
+// WindowCounter accumulates router k's day-slices on top of routers
+// 1..k-1, and each address entering the union checks victim membership
+// in O(1), so the whole series costs one pass over each router-day's
+// observations instead of a union rebuild per fleet size.
 func (s *Sweep) BlockingSeries(window, day, maxFleet int) []float64 {
 	vic := s.Victim.addrSet(day)
-	bl := s.Censor.ix.NewSet()
+	wc := s.Censor.ix.NewWindowCounter()
 	blocked := 0
+	onEnter := func(id int32) {
+		if vic.Has(id) {
+			blocked++
+		}
+	}
 	start := day - window + 1
 	if start < 0 {
 		start = 0
@@ -215,11 +351,7 @@ func (s *Sweep) BlockingSeries(window, day, maxFleet int) []float64 {
 	out := make([]float64, 0, maxFleet)
 	for k := 1; k <= maxFleet; k++ {
 		for d := start; d <= day; d++ {
-			for _, id := range s.Censor.observedIDs(k-1, d) {
-				if bl.Add(id) && vic.Has(id) {
-					blocked++
-				}
-			}
+			wc.AddDayFunc(s.Censor.observedIDs(k-1, d), onEnter)
 		}
 		rate := 0.0
 		if vic.Len() > 0 {

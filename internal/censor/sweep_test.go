@@ -82,7 +82,7 @@ func TestSweepCaptureCancelled(t *testing.T) {
 	if err := sw.Capture(ctx); err != context.Canceled {
 		t.Fatalf("Capture error = %v, want context.Canceled", err)
 	}
-	if err := sw.Each(ctx, func(int, Cell) error { return nil }); err != context.Canceled {
+	if err := sw.Each(ctx, func(int, *Cursor) error { return nil }); err != context.Canceled {
 		t.Fatalf("Each error = %v, want context.Canceled", err)
 	}
 }

@@ -102,17 +102,16 @@ func (r CellResult) DaysToEnumerate(frac float64) int {
 }
 
 // Sweep binds a grid to a network with the shared substrate built once:
-// one backend pool per distribution day, the network's address index, and
-// the per-day address-owner tables collateral accounting folds against.
+// one backend pool per distribution day and the network's address index.
+// The per-day address-owner tables collateral accounting folds against
+// live outside the Sweep entirely, in the (network, day) epoch cache
+// (see owners.go) — repeated sweeps and arms-race grids share them.
 type Sweep struct {
 	Net *sim.Network
 	Cfg SweepConfig
 
 	ix       *censor.AddrIndex
 	backends map[int]*Backend
-	// owners[d][addrID] is the peer currently publishing the address on
-	// day d, or -1. Built once for the union of evaluation days.
-	owners map[int][]int32
 	// peerByHash resolves RouterInfo introducer hashes back to peer
 	// indexes, so enumerating a firewalled bridge's bundle also leaks the
 	// introducers it published.
@@ -142,7 +141,6 @@ func NewSweep(network *sim.Network, cfg SweepConfig) (*Sweep, error) {
 		Cfg:        cfg,
 		ix:         censor.IndexFor(network),
 		backends:   make(map[int]*Backend, len(cfg.Days)),
-		owners:     make(map[int][]int32),
 		peerByHash: make(map[netdb.Hash]int, len(network.Peers)),
 	}
 	for _, p := range network.Peers {
@@ -166,35 +164,8 @@ func NewSweep(network *sim.Network, cfg SweepConfig) (*Sweep, error) {
 			return nil, err
 		}
 		s.backends[day] = b
-		for h := 0; h <= cfg.HorizonDays; h++ {
-			s.buildOwners(day + h)
-		}
 	}
 	return s, nil
-}
-
-// buildOwners fills the day's addrID -> publishing-peer table.
-func (s *Sweep) buildOwners(day int) {
-	if _, ok := s.owners[day]; ok {
-		return
-	}
-	owners := make([]int32, s.ix.NumAddrs())
-	for i := range owners {
-		owners[i] = -1
-	}
-	for _, idx := range s.Net.ActivePeers(day) {
-		if s.Net.Peers[idx].Status != sim.StatusKnownIP {
-			continue
-		}
-		v4, v6 := s.ix.PeerIDs(idx, day)
-		if v4 >= 0 {
-			owners[v4] = int32(idx)
-		}
-		if v6 >= 0 {
-			owners[v6] = int32(idx)
-		}
-	}
-	s.owners[day] = owners
 }
 
 // Backend returns the shared backend for a distribution day.
@@ -225,8 +196,19 @@ func (s *Sweep) cellSeed(c Cell) uint64 {
 		uint64(c.Day)+1)
 }
 
-// Run evaluates every cell across the worker pool and returns results in
-// Cells() order. The first error (or ctx cancellation) cancels the rest.
+// Run evaluates every cell across the worker pool and returns results
+// in Cells() order. Unlike the censor sweep, cells stay on plain
+// cell-level measure.FanOut rather than measure.FanRows rows: an
+// arms-race cell carries no rolling state a row could slide — each cell
+// is seeded from its own coordinates and the owner tables it folds come
+// from the order-independent (network, day) epoch cache — so grouping
+// cells into rows would only cap parallelism (a one-distributor,
+// one-enumerator, many-day grid would serialize) without saving any
+// work. Cells() enumerates days outermost, so index-order hand-out
+// already warms each day's owner-table epoch front-to-back. Every cell
+// is deterministic in its own coordinates, so any Workers value yields
+// byte-identical results. The first error (or ctx cancellation) cancels
+// the rest.
 func (s *Sweep) Run(ctx context.Context) ([]CellResult, error) {
 	cells := s.Cells()
 	results := make([]CellResult, len(cells))
@@ -429,7 +411,7 @@ func (s *Sweep) runCell(c Cell) (CellResult, error) {
 		res.Survival = append(res.Survival, frac(alive, part.Len()))
 		res.Enumerated = append(res.Enumerated, frac(len(discovered), part.Len()))
 
-		owners := s.owners[day]
+		owners := ownersFor(s.Net, day)
 		bystanders := 0
 		bl.ForEach(func(id int32) {
 			if owner := owners[id]; owner >= 0 && !backend.InPool(int(owner)) {

@@ -3,7 +3,9 @@ package measure
 import (
 	"context"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 )
@@ -84,6 +86,70 @@ func FanOut(ctx context.Context, n, workers int, fn func(i int) error) error {
 		return firstErr
 	}
 	return ctx.Err()
+}
+
+// RowPlan groups task indices into rows for FanRows. Each row is a list
+// of task indices that run sequentially in listed order on one worker —
+// the unit a rolling computation (a sliding blacklist window, an
+// incremental cache walk) carries its state along — while the rows
+// themselves fan out across the pool like FanOut tasks. Rows must not
+// share task indices; a task listed in no row simply never runs.
+type RowPlan [][]int
+
+// Tasks returns the total number of tasks across every row.
+func (p RowPlan) Tasks() int {
+	n := 0
+	for _, row := range p {
+		n += len(row)
+	}
+	return n
+}
+
+// PlanRows builds a RowPlan over n tasks: rowOf(i) assigns task i to a
+// row in [0, rows); within each row, tasks are stably sorted by
+// ascending key(i) — the day coordinate in the sweep engines, so a
+// row's rolling state only ever slides forward. Stability keeps
+// equal-key tasks in index order, making the schedule (though never the
+// results, which land in task-indexed slots) deterministic.
+func PlanRows(n, rows int, rowOf, key func(i int) int) RowPlan {
+	plan := make(RowPlan, rows)
+	for i := 0; i < n; i++ {
+		r := rowOf(i)
+		plan[r] = append(plan[r], i)
+	}
+	for _, row := range plan {
+		sort.SliceStable(row, func(a, b int) bool { return key(row[a]) < key(row[b]) })
+	}
+	return plan
+}
+
+// FanRows runs fn(row, task) for every task of every row across the
+// worker pool: rows are handed out in index order and each row's tasks
+// run sequentially in listed order on a single worker, so per-row state
+// needs no locking. The determinism contract is FanOut's — callers
+// write results into caller-owned slots indexed by task, never by
+// arrival order, and any workers value yields byte-identical output.
+// The first error (or context cancellation) stops the remaining rows;
+// rows in flight stop after their current task.
+func FanRows(ctx context.Context, plan RowPlan, workers int, fn func(row, task int) error) error {
+	var failed atomic.Bool
+	return FanOut(ctx, len(plan), workers, func(r int) error {
+		for _, t := range plan[r] {
+			// Another row already failed (FanOut holds its error) or the
+			// caller cancelled: abandon the rest of this row.
+			if failed.Load() {
+				return nil
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(r, t); err != nil {
+				failed.Store(true)
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // ObserveGrid fans the (observer, day) capture grid across a worker pool

@@ -1,0 +1,121 @@
+package measure
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestPlanRowsGroupsAndSortsStably(t *testing.T) {
+	// 3 rows over 9 tasks laid out row-major (task i -> row i%3), with
+	// keys chosen so sorting reorders within rows but ties keep index
+	// order.
+	keys := []int{5, 1, 1, 2, 1, 0, 2, 9, 0}
+	plan := PlanRows(len(keys), 3,
+		func(i int) int { return i % 3 },
+		func(i int) int { return keys[i] })
+	want := RowPlan{
+		{3, 6, 0}, // row 0: tasks 0,3,6 with keys 5,2,2 -> 3 and 6 tie at 2
+		{1, 4, 7}, // row 1: tasks 1,4,7 with keys 1,1,9 -> 1 and 4 tie at 1
+		{5, 8, 2}, // row 2: tasks 2,5,8 with keys 1,0,0 -> 5 and 8 tie at 0
+	}
+	if !reflect.DeepEqual(plan, want) {
+		t.Fatalf("plan = %v, want %v", plan, want)
+	}
+	if plan.Tasks() != len(keys) {
+		t.Fatalf("Tasks() = %d, want %d", plan.Tasks(), len(keys))
+	}
+}
+
+// TestFanRowsRunsRowsSequentially: every task runs exactly once, and
+// within a row tasks run in listed order, at any worker count.
+func TestFanRowsRunsRowsSequentially(t *testing.T) {
+	plan := RowPlan{{0, 3, 6}, {1, 4}, {2, 5, 7, 8}}
+	for _, workers := range []int{1, 2, 8} {
+		var mu sync.Mutex
+		perRow := make(map[int][]int)
+		err := FanRows(context.Background(), plan, workers, func(row, task int) error {
+			mu.Lock()
+			perRow[row] = append(perRow[row], task)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r, want := range plan {
+			if !reflect.DeepEqual(perRow[r], []int(want)) {
+				t.Fatalf("workers=%d: row %d ran %v, want %v", workers, r, perRow[r], want)
+			}
+		}
+	}
+}
+
+func TestFanRowsStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	// One long row and a failing row: the long row must stop early once
+	// the failure lands, and the failing row's later tasks never run.
+	long := make([]int, 100)
+	for i := range long {
+		long[i] = i
+	}
+	plan := RowPlan{long, {100, 101, 102}}
+	var ran sync.Map
+	err := FanRows(context.Background(), plan, 2, func(row, task int) error {
+		ran.Store(task, true)
+		if task == 100 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := ran.Load(101); ok {
+		t.Fatal("task after the failing task ran in the same row")
+	}
+}
+
+func TestFanRowsCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FanRows(ctx, RowPlan{{0, 1}}, 2, func(row, task int) error {
+		return fmt.Errorf("task %d ran under a cancelled context", task)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFanRowsSlotDeterminism: writing into task-indexed slots yields
+// identical output at any worker count — the contract the sweep engines
+// inherit.
+func TestFanRowsSlotDeterminism(t *testing.T) {
+	n := 24
+	plan := PlanRows(n, 4,
+		func(i int) int { return i % 4 },
+		func(i int) int { return i / 4 })
+	run := func(workers int) []int {
+		out := make([]int, n)
+		// Per-row rolling state: each row accumulates a running sum its
+		// cells fold, the shape the censor sweep uses.
+		sums := make([]int, len(plan))
+		if err := FanRows(context.Background(), plan, workers, func(row, task int) error {
+			sums[row] += task
+			out[task] = sums[row]
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		if got := run(workers); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d: %v != serial %v", workers, got, serial)
+		}
+	}
+}

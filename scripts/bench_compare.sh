@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# bench_compare.sh — warn-only bench-regression check.
+#
+# Usage:
+#
+#   ./scripts/bench_compare.sh BASELINE_DIR FRESH_DIR [THRESHOLD_PCT]
+#
+# Compares every *_ns_per_op field of each BENCH_*.json present in both
+# directories and prints a WARN line when the fresh value is slower than
+# the baseline by more than THRESHOLD_PCT (default 25%). Always exits 0:
+# ns/op is hardware-relative and CI runners are noisy, so the committed
+# baselines are a perf trajectory to eyeball, not a gate. Refresh them
+# with scripts/bench.sh (see its header) when a PR legitimately moves
+# the numbers.
+set -uo pipefail
+
+base="${1:?usage: bench_compare.sh BASELINE_DIR FRESH_DIR [THRESHOLD_PCT]}"
+fresh="${2:?usage: bench_compare.sh BASELINE_DIR FRESH_DIR [THRESHOLD_PCT]}"
+thr="${3:-25}"
+
+# fields FILE — emit "key value" for every *_ns_per_op field.
+fields() {
+  sed -n 's/.*"\([a-z_]*ns_per_op\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' "$1"
+}
+
+warned=0
+found=0
+for bf in "$base"/BENCH_*.json; do
+  [ -e "$bf" ] || continue
+  found=1
+  name="$(basename "$bf")"
+  ff="$fresh/$name"
+  if [ ! -f "$ff" ]; then
+    echo "WARN: $name present in baseline but missing from fresh results"
+    warned=1
+    continue
+  fi
+  while read -r key bval; do
+    fval="$(fields "$ff" | awk -v k="$key" '$1 == k {print $2; exit}')"
+    if [ -z "$fval" ]; then
+      echo "WARN: $name: field $key missing from fresh results"
+      warned=1
+      continue
+    fi
+    if awk -v b="$bval" -v f="$fval" -v t="$thr" 'BEGIN { exit !(f > b * (1 + t/100)) }'; then
+      awk -v b="$bval" -v f="$fval" -v n="$name" -v k="$key" 'BEGIN {
+        printf "WARN: %s %s regressed: baseline %d ns/op, fresh %d ns/op (+%.1f%%)\n", n, k, b, f, (f/b - 1) * 100
+      }'
+      warned=1
+    else
+      awk -v b="$bval" -v f="$fval" -v n="$name" -v k="$key" 'BEGIN {
+        printf "ok:   %s %s: baseline %d ns/op, fresh %d ns/op (%+.1f%%)\n", n, k, b, f, (f/b - 1) * 100
+      }'
+    fi
+  done < <(fields "$bf")
+done
+
+if [ "$found" -eq 0 ]; then
+  echo "WARN: no BENCH_*.json baselines found in $base"
+fi
+if [ "$warned" -ne 0 ]; then
+  echo "bench_compare: regressions above ${thr}% are warnings only (hardware-relative numbers); refresh baselines via scripts/bench.sh if intended"
+fi
+exit 0
