@@ -4,7 +4,8 @@
 // manual reseeding (Section 6.1), the bridge strategies of Section 7.1,
 // the DPI fingerprinting study of Section 2.2.2, and the
 // bridge-distribution pipeline (rdsys-style distributors vs censor
-// enumeration, internal/distrib).
+// enumeration, internal/distrib) — including the Salmon-style
+// trust-graph distributor (trust-distribution).
 //
 // Usage:
 //

@@ -19,7 +19,6 @@ import (
 	"context"
 	"fmt"
 	"net/netip"
-	"sync"
 
 	"github.com/i2pstudy/i2pstudy/internal/cache"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
@@ -37,9 +36,13 @@ type Censor struct {
 	// 1, 5, 10, 20 and 30 days).
 	WindowDays int
 
-	// obsIDs memoizes observedIDs per (router, day); sweep cells revisit
-	// the same captures across windows and fleet prefixes.
-	obsIDs sync.Map // uint64(router)<<32 | uint64(uint32(day)) -> []int32
+	// obsIDs memoizes observedIDs per (router, day): one bounded
+	// cache.DayMemo ring per monitoring router, so a very long study
+	// holds O(routers x DayMemoCap) day-slices instead of every
+	// (router, day) pair ever computed. Eviction is invisible to
+	// results — slices are pure in (observer seed, day), so a redrawn
+	// day is byte-identical (TestObservedIDsMemoBounded).
+	obsIDs []cache.DayMemo[[]int32]
 }
 
 // NewCensor creates a censor running `routers` monitoring routers, split
@@ -61,6 +64,7 @@ func NewCensor(network *sim.Network, routers, windowDays int, seedBase uint64) (
 			Seed:       seedBase + uint64(i),
 		}))
 	}
+	c.obsIDs = make([]cache.DayMemo[[]int32], routers)
 	return c, nil
 }
 
@@ -70,28 +74,26 @@ func (c *Censor) Routers() int { return len(c.observers) }
 // observedIDs returns the interned address IDs of peers observed by one
 // monitoring router on one day. Peers without published addresses
 // (firewalled, hidden) contribute nothing — they cannot be address-blocked
-// (Section 7.1). The result is memoized and must not be modified.
+// (Section 7.1). The result is memoized per (router, day) in the
+// router's bounded ring and must not be modified.
 func (c *Censor) observedIDs(router, day int) []int32 {
-	key := uint64(router)<<32 | uint64(uint32(day))
-	if v, ok := c.obsIDs.Load(key); ok {
-		return v.([]int32)
-	}
-	var out []int32
-	for _, idx := range c.observers[router].ObserveDay(day) {
-		if c.net.Peers[idx].Status != sim.StatusKnownIP {
-			continue
+	return c.obsIDs[router].Get(day, func(day int) []int32 {
+		var out []int32
+		for _, idx := range c.observers[router].ObserveDay(day) {
+			if c.net.Peers[idx].Status != sim.StatusKnownIP {
+				continue
+			}
+			v4, v6 := c.ix.PeerIDs(idx, day)
+			if v4 < 0 {
+				continue
+			}
+			out = append(out, v4)
+			if v6 >= 0 {
+				out = append(out, v6)
+			}
 		}
-		v4, v6 := c.ix.PeerIDs(idx, day)
-		if v4 < 0 {
-			continue
-		}
-		out = append(out, v4)
-		if v6 >= 0 {
-			out = append(out, v6)
-		}
-	}
-	v, _ := c.obsIDs.LoadOrStore(key, out)
-	return v.([]int32)
+		return out
+	})
 }
 
 // blacklistSet compiles the blacklist in force on `day` using the first k

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"github.com/i2pstudy/i2pstudy/internal/measure/enginetest"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 	"github.com/i2pstudy/i2pstudy/internal/stats"
 )
@@ -159,7 +160,7 @@ func TestFigure13MatchesReference(t *testing.T) {
 }
 
 // TestSweepWorkerDeterminism is the adversary engine's golden equivalence
-// guarantee, mirroring TestCampaignParallelMatchesSerial: any Workers
+// guarantee, stated through the shared enginetest harness: any Workers
 // value yields byte-identical figures for the blocking, eclipse and
 // bridge sweeps.
 func TestSweepWorkerDeterminism(t *testing.T) {
@@ -167,47 +168,45 @@ func TestSweepWorkerDeterminism(t *testing.T) {
 	ctx := context.Background()
 	day := 20
 
-	serialFig, err := Figure13Context(ctx, n, 8, []int{1, 5}, day, 700, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	serialEclipseFig, serialEclipse, err := EclipseSweepContext(ctx, n, []int{2, 6}, 5, 25, day, 7200, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	bcfg := DefaultBridgeConfig()
-	bcfg.Day = 10
-	bcfg.HorizonDays = 8
-	bcfg.Workers = 1
-	serialBridges, err := EvaluateBridgesContext(ctx, n, 5, bcfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	for _, workers := range []int{0, 2, 8} {
-		fig, err := Figure13Context(ctx, n, 8, []int{1, 5}, day, 700, workers)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if fig.Render() != serialFig.Render() || !reflect.DeepEqual(fig, serialFig) {
-			t.Errorf("Workers=%d: Figure 13 differs from serial", workers)
-		}
-		efig, ecl, err := EclipseSweepContext(ctx, n, []int{2, 6}, 5, 25, day, 7200, workers)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(ecl, serialEclipse) || !reflect.DeepEqual(efig, serialEclipseFig) {
-			t.Errorf("Workers=%d: eclipse sweep differs from serial", workers)
-		}
-		bcfg.Workers = workers
-		brs, err := EvaluateBridgesContext(ctx, n, 5, bcfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(brs, serialBridges) {
-			t.Errorf("Workers=%d: bridge evaluations differ from serial", workers)
-		}
-	}
+	enginetest.Golden(t, []enginetest.Case{
+		{
+			Name: "figure-13",
+			Run: func(t testing.TB, workers int) any {
+				fig, err := Figure13Context(ctx, n, 8, []int{1, 5}, day, 700, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The rendered text participates in the comparison too:
+				// a figure that deep-equals but renders differently
+				// would still corrupt the artifact.
+				return []any{fig, fig.Render()}
+			},
+		},
+		{
+			Name: "eclipse",
+			Run: func(t testing.TB, workers int) any {
+				efig, ecl, err := EclipseSweepContext(ctx, n, []int{2, 6}, 5, 25, day, 7200, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return []any{efig, ecl}
+			},
+		},
+		{
+			Name: "bridges",
+			Run: func(t testing.TB, workers int) any {
+				bcfg := DefaultBridgeConfig()
+				bcfg.Day = 10
+				bcfg.HorizonDays = 8
+				bcfg.Workers = workers
+				brs, err := EvaluateBridgesContext(ctx, n, 5, bcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return brs
+			},
+		},
+	})
 }
 
 // TestSweepBlockingRateMatchesBlockingRate: the cell-level rate agrees

@@ -162,3 +162,76 @@ func TestAddrSetRemoveAndClone(t *testing.T) {
 		t.Fatal("clone not independent of the original")
 	}
 }
+
+// checkExpiryInvariant asserts the expiry-count invariant exactly:
+// live membership == {addr : count > 0}, bit for bit and in cardinality.
+func checkExpiryInvariant(t *testing.T, wc *WindowCounter, step int) {
+	t.Helper()
+	live := 0
+	for id, c := range wc.counts {
+		if c < 0 {
+			t.Fatalf("step %d: negative count %d at id %d", step, c, id)
+		}
+		if has := wc.Has(int32(id)); has != (c > 0) {
+			t.Fatalf("step %d: id %d has count %d but membership %v", step, id, c, has)
+		}
+		if c > 0 {
+			live++
+		}
+	}
+	if wc.Len() != live {
+		t.Fatalf("step %d: Len() = %d, counts say %d", step, wc.Len(), live)
+	}
+}
+
+// TestWindowCounterInterleavingInvariant generalizes
+// TestWindowCounterRemoveDayInvertsAddDay from batch inversion to
+// arbitrary interleavings: any random sequence of AddDay and RemoveDay
+// ops — removing only slices previously added, in any order, including
+// empty day-slices and windows wider than the horizon (phases where
+// nothing ever expires) — preserves the expiry-count invariant
+// live == {addr : count > 0} after every single operation.
+func TestWindowCounterInterleavingInvariant(t *testing.T) {
+	n := network(t)
+	ix := indexFor(n)
+	rng := rand.New(rand.NewPCG(2026, 11))
+	for trial := 0; trial < 8; trial++ {
+		wc := ix.NewWindowCounter()
+		var held [][]int32
+		// removeP is the per-step removal probability; trial 0 runs at
+		// zero — the window-wider-than-horizon regime, where the window
+		// only ever accumulates.
+		removeP := 0
+		if trial > 0 {
+			removeP = 1 + rng.IntN(3) // remove 1-in-4 .. 3-in-4 steps
+		}
+		steps := 80 + rng.IntN(80)
+		for step := 0; step < steps; step++ {
+			if len(held) > 0 && rng.IntN(4) < removeP {
+				// Expire a uniformly random held slice — not the
+				// oldest: inversion must not depend on expiry order.
+				i := rng.IntN(len(held))
+				wc.RemoveDay(held[i])
+				held[i] = held[len(held)-1]
+				held = held[:len(held)-1]
+			} else {
+				var s []int32
+				if rng.IntN(5) > 0 { // 1-in-5 slices stay empty
+					s = randomSlices(rng, 1, 120, ix.NumAddrs())[0]
+				}
+				wc.AddDay(s)
+				held = append(held, s)
+			}
+			checkExpiryInvariant(t, wc, step)
+		}
+		// Drain in random order: the invariant holds at every step and
+		// the counter ends exactly empty.
+		for _, i := range rng.Perm(len(held)) {
+			wc.RemoveDay(held[i])
+			checkExpiryInvariant(t, wc, -1)
+		}
+		if wc.Len() != 0 {
+			t.Fatalf("trial %d: drained counter has %d members", trial, wc.Len())
+		}
+	}
+}

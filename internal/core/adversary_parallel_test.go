@@ -4,13 +4,15 @@ import (
 	"context"
 	"reflect"
 	"testing"
+
+	"github.com/i2pstudy/i2pstudy/internal/measure/enginetest"
 )
 
 // adversaryIDs are the experiments riding the censor sweep engine and the
 // distrib arms-race engine.
 var adversaryIDs = []string{
 	"figure-13", "figure-14", "eclipse-attack", "bridge-strategies",
-	"bridge-distribution", "distribution-enumeration",
+	"bridge-distribution", "distribution-enumeration", "trust-distribution",
 }
 
 // adversaryStudy builds a small study pinned to the given engine width.
@@ -29,33 +31,37 @@ func adversaryStudy(t *testing.T, workers int) *Study {
 }
 
 // TestAdversarySweepParallelMatchesSerial is the adversary engine's
-// registry-level golden guarantee, mirroring
-// TestCampaignParallelMatchesSerial: the censorship experiments produce
-// byte-identical Result text, figures and metrics at Workers=1 and
-// Workers=8, so parallelism can never change a censorship artifact.
+// registry-level golden guarantee, stated through the shared enginetest
+// harness: every experiment riding a sweep engine produces
+// byte-identical Result text, figures and metrics at every ladder
+// width, so parallelism can never change a censorship artifact. One
+// study per width is shared across the experiment cases.
 func TestAdversarySweepParallelMatchesSerial(t *testing.T) {
 	ctx := context.Background()
-	serial := adversaryStudy(t, 1)
-	parallel := adversaryStudy(t, 8)
-	for _, id := range adversaryIDs {
-		want, err := serial.RunExperimentContext(ctx, id)
-		if err != nil {
-			t.Fatalf("%s serial: %v", id, err)
+	studies := map[int]*Study{}
+	studyFor := func(workers int) *Study {
+		if s, ok := studies[workers]; ok {
+			return s
 		}
-		got, err := parallel.RunExperimentContext(ctx, id)
-		if err != nil {
-			t.Fatalf("%s parallel: %v", id, err)
-		}
-		if got.Text != want.Text {
-			t.Errorf("%s: Workers=8 text differs from serial", id)
-		}
-		if !reflect.DeepEqual(got.Metrics, want.Metrics) {
-			t.Errorf("%s: Workers=8 metrics differ from serial", id)
-		}
-		if !reflect.DeepEqual(got.Figure, want.Figure) {
-			t.Errorf("%s: Workers=8 figure differs from serial", id)
-		}
+		s := adversaryStudy(t, workers)
+		studies[workers] = s
+		return s
 	}
+	cases := make([]enginetest.Case, 0, len(adversaryIDs))
+	for _, id := range adversaryIDs {
+		id := id
+		cases = append(cases, enginetest.Case{
+			Name: id,
+			Run: func(t testing.TB, workers int) any {
+				res, err := studyFor(workers).RunExperimentContext(ctx, id)
+				if err != nil {
+					t.Fatalf("%s: %v", id, err)
+				}
+				return res
+			},
+		})
+	}
+	enginetest.Golden(t, cases)
 }
 
 // TestExperimentCategories locks the category tagging the CLIs derive
@@ -71,7 +77,7 @@ func TestExperimentCategories(t *testing.T) {
 	if got := ExperimentIDs(CategoryAblation); len(got) != 2 {
 		t.Errorf("ablation IDs = %v", got)
 	}
-	wantDistribution := []string{"bridge-distribution", "distribution-enumeration"}
+	wantDistribution := []string{"bridge-distribution", "distribution-enumeration", "trust-distribution"}
 	if got := ExperimentIDs(CategoryDistribution); !reflect.DeepEqual(got, wantDistribution) {
 		t.Errorf("distribution IDs = %v, want %v", got, wantDistribution)
 	}

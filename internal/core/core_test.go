@@ -56,6 +56,7 @@ func TestRegistryComplete(t *testing.T) {
 		"dpi-fingerprinting", "port-blocking", "eclipse-attack",
 		"ablation-observer-mix", "ablation-flood-fanout",
 		"bridge-distribution", "distribution-enumeration",
+		"trust-distribution",
 	}
 	got := Experiments()
 	if len(got) != len(want) {

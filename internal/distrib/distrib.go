@@ -90,6 +90,42 @@ func mix(k uint64, words ...uint64) uint64 {
 // percent of even at a few hundred resources.
 const ringVnodes = 64
 
+// vnode is one virtual node of a distributor arc.
+type vnode struct {
+	key  uint64
+	dist string
+}
+
+// hashring is the pure assignment rule behind backend partitioning: a
+// sorted vnode ring over a distributor name set. It is deliberately a
+// function of the name set alone — never of the resource pool — which
+// is the whole stable-assignment invariant (FuzzHashringAssignment).
+type hashring []vnode
+
+// buildRing places every distributor's virtual nodes on the ring.
+// Assignment depends only on the *set* of names: the sort erases the
+// caller's ordering.
+func buildRing(names []string) hashring {
+	ring := make(hashring, 0, len(names)*ringVnodes)
+	for _, name := range names {
+		for v := 0; v < ringVnodes; v++ {
+			ring = append(ring, vnode{key: mix(keyOfString(name), uint64(v)), dist: name})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].key < ring[j].key })
+	return ring
+}
+
+// owner returns the distributor owning a resource key: the first vnode
+// clockwise from the key, wrapping.
+func (r hashring) owner(key uint64) string {
+	i := sort.Search(len(r), func(i int) bool { return r[i].key >= key })
+	if i == len(r) {
+		i = 0
+	}
+	return r[i].dist
+}
+
 // Backend holds one distribution day's resource pool, partitioned across
 // the distributor frontends. A Backend is immutable after NewBackend and
 // safe for unbounded concurrent use — sweep cells share it.
@@ -153,31 +189,15 @@ func NewBackend(network *sim.Network, cfg BackendConfig, distributors []Distribu
 		pool:  make(map[int]bool, len(resources)),
 	}
 
-	// Distributor arcs: each frontend owns the resources whose keys fall
-	// behind its virtual nodes (first vnode clockwise from the resource).
-	type vnode struct {
-		key  uint64
-		dist string
-	}
-	ring := make([]vnode, 0, len(distributors)*ringVnodes)
-	for _, d := range distributors {
-		for v := 0; v < ringVnodes; v++ {
-			ring = append(ring, vnode{key: mix(keyOfString(d.Name()), uint64(v)), dist: d.Name()})
-		}
+	names := make([]string, len(distributors))
+	for i, d := range distributors {
+		names[i] = d.Name()
 		b.parts[d.Name()] = &Partition{backend: b, dist: d.Name()}
 	}
-	sort.Slice(ring, func(i, j int) bool { return ring[i].key < ring[j].key })
-
-	owner := func(key uint64) string {
-		i := sort.Search(len(ring), func(i int) bool { return ring[i].key >= key })
-		if i == len(ring) {
-			i = 0
-		}
-		return ring[i].dist
-	}
+	ring := buildRing(names)
 	for _, r := range resources {
 		b.pool[r.Peer] = true
-		p := b.parts[owner(r.Key)]
+		p := b.parts[ring.owner(r.Key)]
 		p.res = append(p.res, r)
 	}
 

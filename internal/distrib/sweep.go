@@ -141,10 +141,7 @@ func NewSweep(network *sim.Network, cfg SweepConfig) (*Sweep, error) {
 		Cfg:        cfg,
 		ix:         censor.IndexFor(network),
 		backends:   make(map[int]*Backend, len(cfg.Days)),
-		peerByHash: make(map[netdb.Hash]int, len(network.Peers)),
-	}
-	for _, p := range network.Peers {
-		s.peerByHash[p.ID] = p.Index
+		peerByHash: peerIndexByHash(network),
 	}
 	for _, day := range cfg.Days {
 		if day+cfg.HorizonDays >= network.Days() {
@@ -245,68 +242,9 @@ func (s *Sweep) runCell(c Cell) (CellResult, error) {
 		PartitionSize: part.Len(),
 	}
 
-	// The censor's enumeration-fed blacklist and discovery set.
-	bl := s.ix.NewSet()
-	discovered := make(map[int]bool, part.Len())
-	discover := func(rs []Resource, day int) {
-		for _, r := range rs {
-			discovered[r.Peer] = true
-			v4, v6 := s.ix.PeerIDs(r.Peer, day)
-			bl.Add(v4)
-			bl.Add(v6)
-			// A firewalled bridge's handout carries introducer addresses
-			// instead of its own; the censor blocks those too — innocent
-			// known-IP relays, which is where collateral damage comes from.
-			for _, ra := range r.Record.Addresses {
-				for _, in := range ra.Introducers {
-					if idx, ok := s.peerByHash[in.Hash]; ok {
-						iv4, iv6 := s.ix.PeerIDs(idx, day)
-						bl.Add(iv4)
-						bl.Add(iv6)
-					}
-				}
-			}
-		}
-	}
-
-	// usable reports whether one handed-out bridge works on `day`:
-	// active, and reachable from behind the firewall despite the
-	// blacklist (directly, or for firewalled bridges through at least one
-	// unblocked introducer).
-	usable := func(r Resource, day int) bool {
-		p := s.Net.Peers[r.Peer]
-		if !p.ActiveOn(day) {
-			return false
-		}
-		switch p.Status {
-		case sim.StatusKnownIP:
-			v4, v6 := s.ix.PeerIDs(r.Peer, day)
-			return !bl.Has(v4) && !bl.Has(v6)
-		case sim.StatusFirewalled, sim.StatusToggling:
-			pool := s.Net.Introducers(day)
-			if len(pool) == 0 {
-				return false
-			}
-			for i := 0; i < s.Cfg.IntroducersPerBridge; i++ {
-				in := pool[rng.IntN(len(pool))]
-				v4, v6 := s.ix.PeerIDs(in.Index, day)
-				if !bl.Has(v4) && !bl.Has(v6) {
-					return true
-				}
-			}
-			return false
-		default:
-			return false
-		}
-	}
-	anyUsable := func(rs []Resource, day int) bool {
-		for _, r := range rs {
-			if usable(r, day) {
-				return true
-			}
-		}
-		return false
-	}
+	// The censor's enumeration-fed blacklist and discovery set, with
+	// the discover/usable rules shared with the trust rows (view.go).
+	cv := newCensorView(s.Net, s.ix, s.peerByHash, s.Cfg.IntroducersPerBridge, rng)
 
 	// requester is any sticky identity whose handout is cached by ring
 	// key: equal keys imply equal handouts, so the work (for
@@ -355,7 +293,7 @@ func (s *Sweep) runCell(c Cell) (CellResult, error) {
 		// when the unchanged ring key makes it a cached no-op.
 		var requested []int
 		for u := range users {
-			if h > 0 && anyUsable(users[u].handout, day) {
+			if h > 0 && cv.anyUsable(users[u].handout, day) {
 				continue
 			}
 			if err := fetch(&users[u], day); err != nil {
@@ -374,7 +312,7 @@ func (s *Sweep) runCell(c Cell) (CellResult, error) {
 				if err != nil {
 					return CellResult{}, err
 				}
-				discover(hr, day)
+				cv.discover(hr, day)
 			}
 		case Sybil:
 			// Re-discovery stays daily — a re-queried bridge's *current*
@@ -384,12 +322,12 @@ func (s *Sweep) runCell(c Cell) (CellResult, error) {
 				if err := fetch(&sybils[i], day); err != nil {
 					return CellResult{}, err
 				}
-				discover(sybils[i].handout, day)
+				cv.discover(sybils[i].handout, day)
 			}
 		case Insider:
 			for _, u := range requested {
 				if rng.Float64() < c.Enum.InsiderFrac {
-					discover(users[u].handout, day)
+					cv.discover(users[u].handout, day)
 				}
 			}
 		}
@@ -397,28 +335,28 @@ func (s *Sweep) runCell(c Cell) (CellResult, error) {
 		// 3. The day's outcome.
 		okUsers := 0
 		for u := range users {
-			if anyUsable(users[u].handout, day) {
+			if cv.anyUsable(users[u].handout, day) {
 				okUsers++
 			}
 		}
 		alive := 0
 		for _, r := range part.Resources() {
-			if usable(r, day) {
+			if cv.usable(r, day) {
 				alive++
 			}
 		}
 		res.Bootstrap = append(res.Bootstrap, frac(okUsers, len(users)))
 		res.Survival = append(res.Survival, frac(alive, part.Len()))
-		res.Enumerated = append(res.Enumerated, frac(len(discovered), part.Len()))
+		res.Enumerated = append(res.Enumerated, frac(len(cv.discovered), part.Len()))
 
 		owners := ownersFor(s.Net, day)
 		bystanders := 0
-		bl.ForEach(func(id int32) {
+		cv.bl.ForEach(func(id int32) {
 			if owner := owners[id]; owner >= 0 && !backend.InPool(int(owner)) {
 				bystanders++
 			}
 		})
-		res.Collateral = append(res.Collateral, frac(bystanders, bl.Len()))
+		res.Collateral = append(res.Collateral, frac(bystanders, cv.bl.Len()))
 	}
 	return res, nil
 }

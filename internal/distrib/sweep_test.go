@@ -3,10 +3,10 @@ package distrib
 import (
 	"context"
 	"reflect"
-	"runtime"
 	"testing"
 
 	"github.com/i2pstudy/i2pstudy/internal/censor"
+	"github.com/i2pstudy/i2pstudy/internal/measure/enginetest"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 )
 
@@ -98,31 +98,43 @@ func TestSweepRun(t *testing.T) {
 }
 
 // TestDistribSweepWorkerDeterminism is the subsystem's golden contract,
-// mirroring TestSweepWorkerDeterminism in internal/censor: Workers = 1
-// (the serial reference), 4, and NumCPU produce byte-identical results.
+// stated through the shared enginetest harness: Workers = 1 (the serial
+// reference), 4, NumCPU and auto produce byte-identical results for
+// both the cell-level arms-race sweep and the rolling trust-graph rows.
 func TestDistribSweepWorkerDeterminism(t *testing.T) {
 	n := network(t)
 	ctx := context.Background()
 
-	run := func(workers int) []CellResult {
-		t.Helper()
-		sw, err := NewSweep(n, testSweepConfig(workers))
-		if err != nil {
-			t.Fatal(err)
-		}
-		results, err := sw.Run(ctx)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return results
-	}
-
-	serial := run(1)
-	for _, workers := range []int{4, runtime.NumCPU()} {
-		if got := run(workers); !reflect.DeepEqual(got, serial) {
-			t.Errorf("Workers=%d: sweep results differ from serial", workers)
-		}
-	}
+	enginetest.Golden(t, []enginetest.Case{
+		{
+			Name: "arms-race",
+			Run: func(t testing.TB, workers int) any {
+				sw, err := NewSweep(n, testSweepConfig(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				results, err := sw.Run(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return results
+			},
+		},
+		{
+			Name: "trust-rows",
+			Run: func(t testing.TB, workers int) any {
+				sw, err := NewTrustSweep(n, testTrustConfig(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				results, err := sw.Run(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return results
+			},
+		},
+	})
 }
 
 // TestSweepSharedBackendDeterminism: cells reusing one Sweep (shared

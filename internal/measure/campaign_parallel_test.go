@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/i2pstudy/i2pstudy/internal/measure/enginetest"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 )
 
@@ -42,23 +43,28 @@ func runWithWorkers(t testing.TB, n *sim.Network, workers int) *Dataset {
 }
 
 // TestCampaignParallelMatchesSerial is the engine's golden equivalence
-// guarantee: any worker count produces a Dataset identical to the serial
-// reference path, so parallelism can never change a figure or table.
+// guarantee, stated through the shared enginetest harness: any worker
+// count produces a Dataset identical to the serial reference path, so
+// parallelism can never change a figure or table.
 func TestCampaignParallelMatchesSerial(t *testing.T) {
 	n := parallelTestNet(t)
-	serial := runWithWorkers(t, n, 1)
-	if serial.TotalPeers() == 0 {
-		t.Fatal("serial campaign observed nothing")
-	}
-	for _, workers := range []int{2, 3, 8, 32} {
-		parallel := runWithWorkers(t, n, workers)
-		if !reflect.DeepEqual(serial, parallel) {
-			t.Errorf("Workers=%d dataset differs from serial reference", workers)
-		}
-	}
-	// Workers=0 (auto) must also match.
-	if auto := runWithWorkers(t, n, 0); !reflect.DeepEqual(serial, auto) {
-		t.Error("Workers=0 (auto) dataset differs from serial reference")
+	var serial *Dataset
+	enginetest.Golden(t, []enginetest.Case{{
+		Name: "campaign",
+		Run: func(t testing.TB, workers int) any {
+			ds := runWithWorkers(t, n, workers)
+			if ds.TotalPeers() == 0 {
+				t.Fatal("campaign observed nothing")
+			}
+			if workers == 1 {
+				serial = ds
+			}
+			return ds
+		},
+	}})
+	// Oversubscription (more workers than days) must also match.
+	if over := runWithWorkers(t, n, 32); !reflect.DeepEqual(serial, over) {
+		t.Error("Workers=32 dataset differs from serial reference")
 	}
 }
 

@@ -10,10 +10,15 @@
 #   BENCH_rolling.json  — the rolling-window adversary engine vs the
 #                         pre-rolling from-scratch fold (30 days x 4
 #                         windows x 4 fleets)
+#   BENCH_trust.json    — the trust-graph (Salmon-style) row engine:
+#                         3 frontends x 3 enumerators x 16-day horizon,
+#                         rows = (frontend x enumerator) combinations
+#                         (days within a row are inherently sequential,
+#                         so rows are the parallelism grain)
 #
 # Usage:
 #
-#   ./scripts/bench.sh [campaign.json [censor.json [distrib.json [rolling.json]]]]
+#   ./scripts/bench.sh [campaign.json [censor.json [distrib.json [rolling.json [trust.json]]]]]
 #
 # Refresh procedure for the committed baselines: run this script from
 # the repo root on an idle machine (BENCHTIME=3x default; raise it for
@@ -35,6 +40,7 @@ campaign_out="${1:-BENCH_campaign.json}"
 censor_out="${2:-BENCH_censor.json}"
 distrib_out="${3:-BENCH_distrib.json}"
 rolling_out="${4:-BENCH_rolling.json}"
+trust_out="${5:-BENCH_trust.json}"
 benchtime="${BENCHTIME:-3x}"
 
 cores="$(go env GOMAXPROCS 2>/dev/null || echo 0)"
@@ -115,5 +121,8 @@ run_pair ./internal/censor/ 'BenchmarkFigure13Sweep(Serial|Parallel)$' \
 
 run_pair ./internal/distrib/ 'BenchmarkDistribSweep(Serial|Parallel)$' \
   BenchmarkDistribSweepSerial BenchmarkDistribSweepParallel distrib-sweep-engine "$distrib_out"
+
+run_pair ./internal/distrib/ 'BenchmarkTrustSweep(Serial|Parallel)$' \
+  BenchmarkTrustSweepSerial BenchmarkTrustSweepParallel trust-sweep-engine "$trust_out"
 
 run_rolling "$rolling_out"
