@@ -1,0 +1,148 @@
+// Command i2pdistribd is the resident bridge distributor: the batch
+// pipeline's distrib.Backend held live behind an HTTP API. It draws one
+// distribution day's pool from a simulated study network, partitions it
+// across the rdsys-style frontends on the stable hashring, and serves
+// per-identity deterministic handouts (moat-style JSON and signed
+// i2pseeds.su3 bundles) while a reachability prober retires dead bridges
+// and /metrics exports the serving instruments.
+//
+// Usage:
+//
+//	i2pdistribd [-addr :8472] [-scale 0.1] [-seed 2018] [-day 10]
+//	i2pdistribd -loadgen 1000000   # in-process load run, no listener
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/censor"
+	"github.com/i2pstudy/i2pstudy/internal/service"
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+)
+
+// strategies maps flag names onto candidate-pool strategies.
+var strategies = map[string]censor.BridgeStrategy{
+	"random":       censor.BridgeRandom,
+	"newly-joined": censor.BridgeNewlyJoined,
+	"firewalled":   censor.BridgeFirewalled,
+	"combined":     censor.BridgeCombined,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("i2pdistribd: ")
+
+	addr := flag.String("addr", ":8472", "listen address (host:port; :0 picks a free port)")
+	scale := flag.Float64("scale", 0.1, "network scale relative to the paper's 30.5K daily peers")
+	seed := flag.Uint64("seed", 2018, "simulation seed")
+	days := flag.Int("days", 45, "study horizon in days")
+	day := flag.Int("day", 10, "distribution day the pool is drawn on")
+	strategy := flag.String("strategy", "combined", "bridge pool strategy: random, newly-joined, firewalled, combined")
+	maxResources := flag.Int("max-resources", 200, "backend pool cap")
+	rate := flag.Float64("rate", 5, "per-identity requests per second (0 disables rate limiting)")
+	burst := flag.Int("burst", 4, "per-identity token-bucket burst")
+	probeInterval := flag.Duration("probe-interval", 30*time.Second, "reachability probe period")
+	failLimit := flag.Int("fail-limit", 3, "consecutive probe failures before a bridge retires")
+	loadgen := flag.Int("loadgen", 0, "run an in-process load generation with this many distinct identities, print JSON and exit")
+	loadWorkers := flag.Int("loadgen-workers", 0, "loadgen concurrency (0 = one per CPU)")
+	flag.Parse()
+
+	strat, ok := strategies[*strategy]
+	if !ok {
+		log.Fatalf("unknown strategy %q (want one of: %s)", *strategy, strings.Join(strategyNames(), ", "))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	network, err := sim.New(sim.Config{
+		Seed:             *seed,
+		Days:             *days,
+		TargetDailyPeers: int(*scale * 30500),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := service.NewService(network, service.Config{
+		Day:           *day,
+		Strategy:      strat,
+		MaxResources:  *maxResources,
+		Seed:          *seed,
+		RatePerSec:    *rate,
+		Burst:         *burst,
+		ProbeInterval: *probeInterval,
+		FailLimit:     *failLimit,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("pool: %d bridges on day %d (strategy %s, seed %d)",
+		svc.Backend().PoolSize(), *day, *strategy, *seed)
+
+	if *loadgen > 0 {
+		res, err := svc.LoadGen(ctx, service.LoadGenConfig{
+			Identities: *loadgen,
+			Workers:    *loadWorkers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, _ := json.MarshalIndent(res, "", "  ")
+		fmt.Println(string(out))
+		if res.Mismatches > 0 || res.Errors > 0 {
+			log.Fatalf("loadgen: %d errors, %d determinism mismatches", res.Errors, res.Mismatches)
+		}
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The smoke job greps this exact line to learn the bound port.
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	proberDone := make(chan struct{})
+	go func() {
+		defer close(proberDone)
+		_ = svc.RunProber(ctx)
+	}()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatal(err)
+		}
+		<-proberDone
+		log.Print("shut down cleanly")
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}
+
+func strategyNames() []string {
+	names := make([]string, 0, len(strategies))
+	for name := range strategies {
+		names = append(names, name)
+	}
+	return names
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"github.com/i2pstudy/i2pstudy/internal/measure"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 )
 
@@ -121,8 +122,10 @@ func DefaultBridgeConfig() BridgeConfig {
 }
 
 // EvaluateBridges runs every strategy against a censor with the given
-// blacklist window and returns one evaluation per strategy. It is the
-// serial-signature wrapper around EvaluateBridgesContext.
+// blacklist window and returns one evaluation per strategy.
+//
+// Deprecated: use EvaluateBridgesContext, the canonical ctx-taking form;
+// this shim runs it under context.Background.
 func EvaluateBridges(network *sim.Network, windowDays int, cfg BridgeConfig) ([]BridgeEvaluation, error) {
 	return EvaluateBridgesContext(context.Background(), network, windowDays, cfg)
 }
@@ -144,12 +147,8 @@ func EvaluateBridgesContext(ctx context.Context, network *sim.Network, windowDay
 		Windows:  []int{windowDays},
 		Days:     days,
 		SeedBase: cfg.Seed + 500,
-		Workers:  cfg.Workers,
-	})
+	}, measure.Workers(cfg.Workers), measure.Capture(ctx))
 	if err != nil {
-		return nil, err
-	}
-	if err := sw.Capture(ctx); err != nil {
 		return nil, err
 	}
 	// One blocked-peer predicate per horizon day, evaluated as sweep

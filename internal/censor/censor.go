@@ -21,6 +21,7 @@ import (
 	"net/netip"
 
 	"github.com/i2pstudy/i2pstudy/internal/cache"
+	"github.com/i2pstudy/i2pstudy/internal/measure"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 	"github.com/i2pstudy/i2pstudy/internal/stats"
 )
@@ -297,8 +298,10 @@ func (c *Censor) blockedPeerFunc(k, window, day int) func(peerIdx int) bool {
 
 // Figure13 sweeps censor fleet sizes and blacklist windows, producing one
 // series per window, each giving the cumulative blocking rate (percent)
-// versus the number of monitoring routers — the paper's Figure 13. It is
-// the serial-signature wrapper around Figure13Context.
+// versus the number of monitoring routers — the paper's Figure 13.
+//
+// Deprecated: use Figure13Context, the canonical ctx-taking form; this
+// shim runs it under context.Background with auto workers.
 func Figure13(network *sim.Network, maxRouters int, windows []int, day int, seedBase uint64) (*stats.Figure, error) {
 	return Figure13Context(context.Background(), network, maxRouters, windows, day, seedBase, 0)
 }
@@ -318,12 +321,8 @@ func Figure13Context(ctx context.Context, network *sim.Network, maxRouters int, 
 		Windows:  windows,
 		Days:     []int{day},
 		SeedBase: seedBase,
-		Workers:  workers,
-	})
+	}, measure.Workers(workers), measure.Capture(ctx))
 	if err != nil {
-		return nil, err
-	}
-	if err := sw.Capture(ctx); err != nil {
 		return nil, err
 	}
 	cells := sw.Cells()

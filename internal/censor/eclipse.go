@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/i2pstudy/i2pstudy/internal/measure"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 	"github.com/i2pstudy/i2pstudy/internal/stats"
 )
@@ -91,8 +92,10 @@ func EclipseAttack(network *sim.Network, censorRouters, windowDays, injected, da
 }
 
 // EclipseSweep evaluates the attack across censor fleet sizes, producing
-// the attacker-share curve. It is the serial-signature wrapper around
-// EclipseSweepContext.
+// the attacker-share curve.
+//
+// Deprecated: use EclipseSweepContext, the canonical ctx-taking form;
+// this shim runs it under context.Background with auto workers.
 func EclipseSweep(network *sim.Network, fleets []int, windowDays, injected, day int, seed uint64) (*stats.Figure, []EclipseResult, error) {
 	return EclipseSweepContext(context.Background(), network, fleets, windowDays, injected, day, seed, 0)
 }
@@ -107,12 +110,8 @@ func EclipseSweepContext(ctx context.Context, network *sim.Network, fleets []int
 		Windows:  []int{windowDays},
 		Days:     []int{day},
 		SeedBase: seed,
-		Workers:  workers,
-	})
+	}, measure.Workers(workers), measure.Capture(ctx))
 	if err != nil {
-		return nil, nil, err
-	}
-	if err := sw.Capture(ctx); err != nil {
 		return nil, nil, err
 	}
 	results := make([]EclipseResult, len(fleets))

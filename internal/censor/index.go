@@ -19,6 +19,9 @@ import (
 type AddrIndex struct {
 	// addrs maps ID -> address (the reverse of the intern table).
 	addrs []netip.Addr
+	// ids is the intern table itself, kept for IDOf lookups (the service
+	// blacklist maps reported addresses back onto the table).
+	ids map[netip.Addr]int32
 	// segs holds, per peer index, the FromDay-ordered schedule with
 	// interned address IDs; nil for peers that never publish an address.
 	segs [][]idSeg
@@ -33,17 +36,16 @@ type idSeg struct {
 
 // NewAddrIndex builds the index for a network.
 func NewAddrIndex(n *sim.Network) *AddrIndex {
-	ix := &AddrIndex{segs: make([][]idSeg, len(n.Peers))}
-	ids := make(map[netip.Addr]int32)
+	ix := &AddrIndex{segs: make([][]idSeg, len(n.Peers)), ids: make(map[netip.Addr]int32)}
 	intern := func(a netip.Addr) int32 {
 		if !a.IsValid() {
 			return -1
 		}
-		if id, ok := ids[a]; ok {
+		if id, ok := ix.ids[a]; ok {
 			return id
 		}
 		id := int32(len(ix.addrs))
-		ids[a] = id
+		ix.ids[a] = id
 		ix.addrs = append(ix.addrs, a)
 		return id
 	}
@@ -69,6 +71,17 @@ func (ix *AddrIndex) NumAddrs() int { return len(ix.addrs) }
 
 // Addr returns the address behind an ID.
 func (ix *AddrIndex) Addr(id int32) netip.Addr { return ix.addrs[id] }
+
+// IDOf resolves an address to its interned ID, -1 when the address was
+// never published during the study. The service's operator blacklist
+// uses this to map reported addresses onto AddrSets over the same table
+// the censor sweeps block against.
+func (ix *AddrIndex) IDOf(a netip.Addr) int32 {
+	if id, ok := ix.ids[a]; ok {
+		return id
+	}
+	return -1
+}
 
 // PeerIDs returns the IDs of the addresses peer idx publishes on day, or
 // -1 where absent. It mirrors Peer.AddrOnDay exactly, including the edge

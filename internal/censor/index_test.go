@@ -40,6 +40,24 @@ func TestAddrIndexMatchesAddrOnDay(t *testing.T) {
 	}
 }
 
+// TestAddrIndexIDOf: every interned address resolves back to its ID, and
+// addresses the study never published resolve to -1.
+func TestAddrIndexIDOf(t *testing.T) {
+	n := network(t)
+	ix := NewAddrIndex(n)
+	for id := int32(0); id < int32(ix.NumAddrs()); id++ {
+		if got := ix.IDOf(ix.Addr(id)); got != id {
+			t.Fatalf("IDOf(Addr(%d)) = %d", id, got)
+		}
+	}
+	if got := ix.IDOf(netip.MustParseAddr("203.0.113.77")); got != -1 {
+		t.Fatalf("IDOf(unpublished) = %d, want -1", got)
+	}
+	if got := ix.IDOf(netip.Addr{}); got != -1 {
+		t.Fatalf("IDOf(zero addr) = %d, want -1", got)
+	}
+}
+
 func TestAddrSetOps(t *testing.T) {
 	n := network(t)
 	ix := indexFor(n)

@@ -265,6 +265,23 @@ func (p *Partition) Resources() []Resource { return p.res }
 // time for the manual-reseed frontend).
 func (p *Partition) When() time.Time { return p.backend.When }
 
+// Dist returns the owning distributor's name.
+func (p *Partition) Dist() string { return p.dist }
+
+// SlotOf returns the partition slot a ring key serves from: the index
+// of the first resource clockwise from key, wrapping — GetMany(key, n)
+// returns the n resources starting at SlotOf(key). There are therefore
+// only Len() distinct handouts per (rotation bucket, size), which is
+// what makes the service's pre-built bundle cache possible. Empty
+// partitions have no slots (-1).
+func (p *Partition) SlotOf(key uint64) int {
+	if len(p.res) == 0 {
+		return -1
+	}
+	i := sort.Search(len(p.res), func(i int) bool { return p.res[i].Key >= key })
+	return i % len(p.res)
+}
+
 // GetMany returns n consecutive resources clockwise from key, wrapping —
 // the rdsys handout rule. Requests never receive more than the partition
 // holds.
@@ -275,7 +292,7 @@ func (p *Partition) GetMany(key uint64, n int) []Resource {
 	if n > len(p.res) {
 		n = len(p.res)
 	}
-	i := sort.Search(len(p.res), func(i int) bool { return p.res[i].Key >= key })
+	i := p.SlotOf(key)
 	out := make([]Resource, 0, n)
 	for j := 0; j < n; j++ {
 		out = append(out, p.res[(i+j)%len(p.res)])

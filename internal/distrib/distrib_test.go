@@ -193,10 +193,20 @@ func TestPartitionGetMany(t *testing.T) {
 
 func TestRingDistRotation(t *testing.T) {
 	b := testBackend(t, DefaultDistributors())
-	part := b.Partition("https")
-	d := NewHTTPS()
-	h1, _ := d.Handout(part, 99, 10)
-	h2, _ := d.Handout(part, 99, 12) // same weekly bucket
+	api, err := NewHandoutAPI(b, DefaultDistributors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve := func(dist string, id uint64, day int) []Resource {
+		t.Helper()
+		h, err := api.Serve(Request{Dist: dist, ID: id, Day: day})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.Resources
+	}
+	h1 := serve("https", 99, 10)
+	h2 := serve("https", 99, 12) // same weekly bucket
 	if len(h1) == 0 {
 		t.Fatal("empty handout")
 	}
@@ -207,16 +217,8 @@ func TestRingDistRotation(t *testing.T) {
 	}
 
 	// Manual reseed never rotates.
-	mp := b.Partition("manual-reseed")
-	m := NewManualReseed()
-	m1, err := m.Handout(mp, 7, 10)
-	if err != nil {
-		t.Fatal(err)
-	}
-	m2, err := m.Handout(mp, 7, 38)
-	if err != nil {
-		t.Fatal(err)
-	}
+	m1 := serve("manual-reseed", 7, 10)
+	m2 := serve("manual-reseed", 7, 38)
 	if len(m1) == 0 || len(m1) != len(m2) {
 		t.Fatalf("manual handouts differ in size: %d vs %d", len(m1), len(m2))
 	}
@@ -233,12 +235,20 @@ func TestRingDistRotation(t *testing.T) {
 func TestManualReseedBundleRoundTrip(t *testing.T) {
 	b := testBackend(t, DefaultDistributors())
 	part := b.Partition("manual-reseed")
-	d := NewManualReseed()
-	got, err := d.Handout(part, 1234, 10)
+	api, err := NewHandoutAPI(b, DefaultDistributors())
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := part.GetMany(d.HandoutKey(1234, 10), 5)
+	h, err := api.Serve(Request{Dist: "manual-reseed", ID: 1234, Day: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := h.Resources
+	key, granted, err := api.Key(Request{Dist: "manual-reseed", ID: 1234, Day: 10})
+	if err != nil || !granted {
+		t.Fatalf("manual-reseed grant: key err %v granted %v", err, granted)
+	}
+	want := part.GetMany(key, 5)
 	if len(got) != len(want) {
 		t.Fatalf("bundle round trip returned %d of %d resources", len(got), len(want))
 	}

@@ -7,27 +7,39 @@ import (
 	"github.com/i2pstudy/i2pstudy/internal/reseed"
 )
 
+// Grant is a frontend's decision for one request: the ring position the
+// requester is served from and how many resources the handout carries.
+// The mechanism that turns a grant into bridges (the clockwise arc
+// walk, manual-reseed's bundle round trip) lives in HandoutAPI.Serve —
+// frontends only decide policy.
+type Grant struct {
+	// Key is the ring position to serve from.
+	Key uint64
+	// Count is the handout size.
+	Count int
+}
+
 // Distributor is one rdsys-style distribution frontend: a request model
-// (which resources a requester receives, and how the mapping rotates) and
-// a leak profile (how expensive it is for a censor to mint a requester
-// identity on this channel). Implementations must be stateless: Handout
-// must be deterministic in (partition, requester, day) and safe for
-// unbounded concurrent use — sweep cells share distributors.
+// (which ring arc a requester is granted, and how the mapping rotates)
+// and a leak profile (how expensive it is for a censor to mint a
+// requester identity on this channel). Implementations must be
+// stateless: Grant must be pure in (id, day, attempt) and safe for
+// unbounded concurrent use — sweep cells and the resident service share
+// distributors. Handouts are resolved exclusively through
+// HandoutAPI.Serve, the one handout code path the determinism harness
+// covers.
 type Distributor interface {
 	// Name labels the frontend and places it on the backend hashring.
 	Name() string
-	// Handout returns the resources the frontend serves to requester id on
-	// the given study day. Handouts are sticky per requester and rotate
-	// slowly (the anti-enumeration behaviour of rdsys and the reseed
-	// servers); the error path exists for frontends that round-trip real
-	// encodings (manual-reseed bundles).
-	Handout(part *Partition, id uint64, day int) ([]Resource, error)
-	// HandoutKey returns the ring position Handout would serve id from on
-	// day. Equal keys imply equal handouts, so callers may cache a
-	// handout until the requester's key changes — sparing a re-request's
-	// work (for manual-reseed, a whole bundle round trip) when the
-	// rotation bucket hasn't moved.
-	HandoutKey(id uint64, day int) uint64
+	// Grant resolves a request to a handout grant. ok=false means the
+	// frontend serves this identity nothing (the trust channel's answer
+	// to identities its graph never minted). Grants are sticky per
+	// requester and rotate slowly (the anti-enumeration behaviour of
+	// rdsys and the reseed servers). The attempt offset rotates
+	// rate-limited re-requests to a fresh arc on frontends that support
+	// it; stateless web frontends ignore it — however often a requester
+	// retries, time alone moves their arc.
+	Grant(id uint64, day, attempt int) (g Grant, ok bool)
 	// IdentityCost is the censor's relative cost to mint one fresh
 	// requester identity: 1.0 = one rotating IP address. Enumerator
 	// budgets divide by it, so high-cost channels leak slowly.
@@ -35,7 +47,7 @@ type Distributor interface {
 }
 
 // ringDist implements the shared rdsys request model: a requester's
-// identity hashes to a ring position and receives the next handout
+// identity hashes to a ring position and is granted the next handout
 // resources clockwise; every rotationDays the position shifts, so
 // long-lived users migrate to fresh bridges and crawlers cannot milk one
 // identity forever.
@@ -49,17 +61,15 @@ type ringDist struct {
 func (d *ringDist) Name() string          { return d.name }
 func (d *ringDist) IdentityCost() float64 { return d.identityCost }
 
-// HandoutKey is the deterministic ring position for (requester, day).
-func (d *ringDist) HandoutKey(id uint64, day int) uint64 {
+// Grant implements Distributor: the deterministic ring position for
+// (requester, day). The attempt offset is ignored — web-style frontends
+// rotate by time, never by retry.
+func (d *ringDist) Grant(id uint64, day, _ int) (Grant, bool) {
 	bucket := uint64(0)
 	if d.rotationDays > 0 {
 		bucket = uint64(day / d.rotationDays)
 	}
-	return mix(keyOfString(d.name), id, bucket)
-}
-
-func (d *ringDist) Handout(part *Partition, id uint64, day int) ([]Resource, error) {
-	return part.GetMany(d.HandoutKey(id, day), d.handout), nil
+	return Grant{Key: mix(keyOfString(d.name), id, bucket), Count: d.handout}, true
 }
 
 // NewHTTPS returns the HTTPS frontend: cheap to query (an IP address is
@@ -82,7 +92,7 @@ func NewSocial() Distributor {
 
 // manualReseed is the out-of-band frontend of Section 6.1: a trusted
 // contact exports an i2pseeds.su3 bundle and hands it over outside the
-// network. Handouts are permanently sticky and the bundle is a real
+// network. Grants are permanently sticky and the handout is a real
 // reseed-codec round trip, so whatever the codec would reject can never
 // be distributed.
 type manualReseed struct {
@@ -99,8 +109,10 @@ func NewManualReseed() Distributor {
 	}
 }
 
-func (d *manualReseed) Handout(part *Partition, id uint64, day int) ([]Resource, error) {
-	sel := part.GetMany(d.HandoutKey(id, day), d.handout)
+// roundTrip implements the HandoutAPI encoding hook: the granted arc is
+// encoded into a signed bundle and decoded back, so the handout is
+// exactly what the codec would deliver out of band.
+func (d *manualReseed) roundTrip(part *Partition, sel []Resource) ([]Resource, error) {
 	if len(sel) == 0 {
 		return nil, nil
 	}

@@ -2,6 +2,7 @@ package distrib
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 )
 
@@ -105,6 +106,58 @@ func FuzzHashringAssignment(f *testing.F) {
 		}
 		if fresh > 1 {
 			t.Fatalf("dropping one resource replaced %d sample members, want at most 1", fresh)
+		}
+
+		// 4. Retirement (the service prober's move): an arbitrary subset
+		// of the pool dies and is filtered out of responses, but the ring
+		// and the partition are never rebuilt. The filtered arc walk must
+		// be an order-preserving subsequence of the original with exactly
+		// the retired members removed, and every survivor keeps both its
+		// owner and its partition slot.
+		part := &Partition{dist: "fuzz", res: append([]Resource(nil), pool...)}
+		sort.Slice(part.res, func(i, j int) bool { return part.res[i].Key < part.res[j].Key })
+		retired := make(map[int]bool)
+		for _, r := range pool {
+			if mix(seed, 0x726574, uint64(r.Peer))%3 == 0 { // "ret"
+				retired[r.Peer] = true
+			}
+		}
+		probeKey := mix(seed, 0x70726F6265) // "probe"
+		n := 1 + int(capN)%8
+		arc := part.GetMany(probeKey, n)
+		served := make([]Resource, 0, len(arc))
+		for _, r := range arc {
+			if !retired[r.Peer] {
+				served = append(served, r)
+			}
+		}
+		ai := 0
+		for _, r := range served {
+			if retired[r.Peer] {
+				t.Fatalf("retired resource %d served", r.Peer)
+			}
+			for ai < len(arc) && arc[ai].Peer != r.Peer {
+				ai++
+			}
+			if ai == len(arc) {
+				t.Fatal("filtered handout is not a subsequence of the arc")
+			}
+			ai++
+			if got := ring.owner(r.Key); got != base[r.Peer] {
+				t.Fatalf("survivor %d moved %s -> %s under retirement", r.Peer, base[r.Peer], got)
+			}
+			if got := part.SlotOf(r.Key); part.res[got].Peer != r.Peer {
+				t.Fatalf("survivor %d lost its partition slot under retirement", r.Peer)
+			}
+		}
+		deadInArc := 0
+		for _, r := range arc {
+			if retired[r.Peer] {
+				deadInArc++
+			}
+		}
+		if len(served)+deadInArc != len(arc) {
+			t.Fatalf("filtered arc has %d members, want %d", len(served), len(arc)-deadInArc)
 		}
 	})
 }

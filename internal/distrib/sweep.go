@@ -39,6 +39,7 @@ type SweepConfig struct {
 	SeedBase uint64
 	// Workers caps engine concurrency: <= 0 one worker per CPU, 1 the
 	// serial reference path. Results are byte-identical either way.
+	// A measure.Workers option passed to NewSweep overrides this field.
 	Workers int
 }
 
@@ -112,6 +113,11 @@ type Sweep struct {
 
 	ix       *censor.AddrIndex
 	backends map[int]*Backend
+	// apis serve every cell's handouts — one HandoutAPI per distribution
+	// day, the same request → handout code path the resident service
+	// (internal/service) exposes over HTTP, so the worker-determinism
+	// goldens covering these cells cover the daemon's responses too.
+	apis map[int]*HandoutAPI
 	// peerByHash resolves RouterInfo introducer hashes back to peer
 	// indexes, so enumerating a firewalled bridge's bundle also leaks the
 	// introducers it published.
@@ -119,8 +125,13 @@ type Sweep struct {
 }
 
 // NewSweep validates the grid and builds the shared backends. Building is
-// serial and deterministic; cells only read from it.
-func NewSweep(network *sim.Network, cfg SweepConfig) (*Sweep, error) {
+// serial and deterministic; cells only read from it. Engine knobs ride
+// the option shape shared with censor.NewSweep and NewTrustSweep:
+// measure.Workers overrides cfg.Workers, measure.Capture runs the
+// capture pass before returning.
+func NewSweep(network *sim.Network, cfg SweepConfig, opts ...measure.EngineOption) (*Sweep, error) {
+	eo := measure.BuildOptions(opts...)
+	cfg.Workers = eo.WorkersOr(cfg.Workers)
 	if len(cfg.Distributors) == 0 || len(cfg.Enumerators) == 0 || len(cfg.Days) == 0 {
 		return nil, fmt.Errorf("distrib: sweep needs at least one distributor, enumerator and day")
 	}
@@ -141,6 +152,7 @@ func NewSweep(network *sim.Network, cfg SweepConfig) (*Sweep, error) {
 		Cfg:        cfg,
 		ix:         censor.IndexFor(network),
 		backends:   make(map[int]*Backend, len(cfg.Days)),
+		apis:       make(map[int]*HandoutAPI, len(cfg.Days)),
 		peerByHash: peerIndexByHash(network),
 	}
 	for _, day := range cfg.Days {
@@ -160,10 +172,46 @@ func NewSweep(network *sim.Network, cfg SweepConfig) (*Sweep, error) {
 		if err != nil {
 			return nil, err
 		}
+		api, err := NewHandoutAPI(b, cfg.Distributors)
+		if err != nil {
+			return nil, err
+		}
 		s.backends[day] = b
+		s.apis[day] = api
+	}
+	if eo.CaptureCtx != nil {
+		if err := s.Capture(eo.CaptureCtx); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
+
+// Capture warms the (network, day) owner-table epoch cache for every day
+// the grid's collateral folds touch, through the same worker pool the
+// cells fan out on. Optional — cells compute lazily — but without it the
+// first cell reaching each day pays for the table build serially.
+func (s *Sweep) Capture(ctx context.Context) error {
+	seen := make(map[int]bool)
+	var days []int
+	for _, day := range s.Cfg.Days {
+		for h := 0; h <= s.Cfg.HorizonDays; h++ {
+			if !seen[day+h] {
+				seen[day+h] = true
+				days = append(days, day+h)
+			}
+		}
+	}
+	return measure.FanOut(ctx, len(days), s.Cfg.Workers, func(i int) error {
+		ownersFor(s.Net, days[i])
+		return nil
+	})
+}
+
+// HandoutAPI returns the shared handout API for a distribution day —
+// the same request → handout path the sweep's own cells resolve
+// through.
+func (s *Sweep) HandoutAPI(day int) *HandoutAPI { return s.apis[day] }
 
 // Backend returns the shared backend for a distribution day.
 func (s *Sweep) Backend(day int) *Backend { return s.backends[day] }
@@ -230,6 +278,7 @@ func (s *Sweep) Run(ctx context.Context) ([]CellResult, error) {
 // deterministic in its seed.
 func (s *Sweep) runCell(c Cell) (CellResult, error) {
 	backend := s.backends[c.Day]
+	api := s.apis[c.Day]
 	part := backend.Partition(c.Dist.Name())
 	seed := s.cellSeed(c)
 	rng := rand.New(rand.NewPCG(seed, seed^0xA5A5A5A55A5A5A5A))
@@ -256,15 +305,18 @@ func (s *Sweep) runCell(c Cell) (CellResult, error) {
 		fetched bool
 	}
 	fetch := func(r *requester, day int) error {
-		key := c.Dist.HandoutKey(r.id, day)
-		if r.fetched && r.key == key {
-			return nil
-		}
-		hr, err := c.Dist.Handout(part, r.id, day)
+		key, _, err := api.Key(Request{Dist: c.Dist.Name(), ID: r.id, Day: day})
 		if err != nil {
 			return err
 		}
-		r.key, r.handout, r.fetched = key, hr, true
+		if r.fetched && r.key == key {
+			return nil
+		}
+		h, err := api.Serve(Request{Dist: c.Dist.Name(), ID: r.id, Day: day})
+		if err != nil {
+			return err
+		}
+		r.key, r.handout, r.fetched = key, h.Resources, true
 		return nil
 	}
 
@@ -308,11 +360,11 @@ func (s *Sweep) runCell(c Cell) (CellResult, error) {
 			k := c.Enum.requestsOn(cost, &crawlCarry)
 			for i := 0; i < k; i++ {
 				id := mix(seed, 0x637261776C, uint64(day), uint64(i)) // "crawl"
-				hr, err := c.Dist.Handout(part, id, day)
+				h, err := api.Serve(Request{Dist: c.Dist.Name(), ID: id, Day: day})
 				if err != nil {
 					return CellResult{}, err
 				}
-				cv.discover(hr, day)
+				cv.discover(h.Resources, day)
 			}
 		case Sybil:
 			// Re-discovery stays daily — a re-queried bridge's *current*

@@ -292,33 +292,19 @@ func (d *TrustSocial) groupKey(u TrustUser, day int, attempt int) uint64 {
 	return mix(keyOfString(d.cfg.Name), uint64(u.Group)+1, bucket, uint64(attempt))
 }
 
-// HandoutKey implements Distributor. Unknown identities map to a
-// private arc-less key; Handout serves them nothing either way.
-func (d *TrustSocial) HandoutKey(id uint64, day int) uint64 {
+// Grant implements Distributor: graph users are granted their group's
+// arc; identities the graph never minted — crawler and sybil
+// requesters — are granted nothing. That is the channel's whole
+// defense: requester identities cannot be fabricated, only invited.
+// The attempt offset is the trust sweep's rate-limited re-request
+// path: a user whose bridges burned rotates to a fresh arc without
+// moving their branch-mates.
+func (d *TrustSocial) Grant(id uint64, day, attempt int) (Grant, bool) {
 	u, ok := d.graph.UserByID(id)
 	if !ok {
-		return mix(keyOfString(d.cfg.Name), ^uint64(0), id)
+		return Grant{}, false
 	}
-	return d.groupKey(u, day, 0)
-}
-
-// Handout implements Distributor: graph users receive their group's
-// handout; identities the graph never minted — crawler and sybil
-// requesters — receive nothing. That is the channel's whole defense:
-// requester identities cannot be fabricated, only invited.
-func (d *TrustSocial) Handout(part *Partition, id uint64, day int) ([]Resource, error) {
-	u, ok := d.graph.UserByID(id)
-	if !ok {
-		return nil, nil
-	}
-	return part.GetMany(d.groupKey(u, day, 0), d.cfg.Handout), nil
-}
-
-// handoutAt is the trust sweep's request path: like Handout but at an
-// explicit re-request attempt, so a rate-limited user whose bridges
-// burned can rotate to a fresh arc.
-func (d *TrustSocial) handoutAt(part *Partition, u TrustUser, day, attempt int) []Resource {
-	return part.GetMany(d.groupKey(u, day, attempt), d.cfg.Handout)
+	return Grant{Key: d.groupKey(u, day, attempt), Count: d.cfg.Handout}, true
 }
 
 // validateTrustDistributors checks a trust sweep's frontend list:

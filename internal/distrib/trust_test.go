@@ -109,10 +109,22 @@ func TestTrustSocialHandout(t *testing.T) {
 	if part == nil || part.Len() == 0 {
 		t.Fatal("trust-social received no partition")
 	}
+	api, err := NewHandoutAPI(b, []Distributor{NewHTTPS(), ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve := func(id uint64, day, attempt int) []Resource {
+		t.Helper()
+		h, err := api.Serve(Request{Dist: ts.Name(), ID: id, Day: day, Attempt: attempt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.Resources
+	}
 
 	// Unknown identities: nothing.
-	if hr, err := ts.Handout(part, 0xBADBADBAD, 10); err != nil || hr != nil {
-		t.Fatalf("unknown identity handout = %v, %v; want nothing", hr, err)
+	if hr := serve(0xBADBADBAD, 10, 0); hr != nil {
+		t.Fatalf("unknown identity handout = %v; want nothing", hr)
 	}
 
 	g := ts.Graph()
@@ -135,19 +147,16 @@ func TestTrustSocialHandout(t *testing.T) {
 	if !found {
 		t.Skip("graph draw produced no shared group; adjust the seed")
 	}
-	ha, err := ts.Handout(part, a.ID, 10)
-	if err != nil || len(ha) == 0 {
-		t.Fatalf("user handout = %v, %v", ha, err)
+	ha := serve(a.ID, 10, 0)
+	if len(ha) == 0 {
+		t.Fatalf("user handout = %v", ha)
 	}
-	hb, err := ts.Handout(part, bb.ID, 10)
-	if err != nil {
-		t.Fatal(err)
-	}
+	hb := serve(bb.ID, 10, 0)
 	if !reflect.DeepEqual(ha, hb) {
 		t.Fatal("group-mates received different handouts")
 	}
 	// Attempts rotate to a fresh arc without moving branch-mates.
-	if h1 := ts.handoutAt(part, a, 10, 1); part.Len() > ts.Config().Handout && reflect.DeepEqual(h1, ha) {
+	if h1 := serve(a.ID, 10, 1); part.Len() > ts.Config().Handout && reflect.DeepEqual(h1, ha) {
 		t.Fatal("re-request attempt did not rotate the arc")
 	}
 }

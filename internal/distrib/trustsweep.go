@@ -68,6 +68,8 @@ type TrustSweepConfig struct {
 	SeedBase uint64
 	// Workers caps engine concurrency: <= 0 one worker per CPU, 1 the
 	// serial reference path. Results are byte-identical either way.
+	// A measure.Workers option passed to NewTrustSweep overrides this
+	// field.
 	Workers int
 }
 
@@ -140,11 +142,17 @@ type TrustSweep struct {
 
 	ix         *censor.AddrIndex
 	backend    *Backend
+	api        *HandoutAPI
 	peerByHash map[netdb.Hash]int
 }
 
-// NewTrustSweep validates the grid and builds the shared backend.
-func NewTrustSweep(network *sim.Network, cfg TrustSweepConfig) (*TrustSweep, error) {
+// NewTrustSweep validates the grid and builds the shared backend. Engine
+// knobs ride the option shape shared with censor.NewSweep and NewSweep:
+// measure.Workers overrides cfg.Workers, measure.Capture runs the
+// capture pass before returning.
+func NewTrustSweep(network *sim.Network, cfg TrustSweepConfig, opts ...measure.EngineOption) (*TrustSweep, error) {
+	eo := measure.BuildOptions(opts...)
+	cfg.Workers = eo.WorkersOr(cfg.Workers)
 	if err := validateTrustDistributors(cfg.Distributors); err != nil {
 		return nil, err
 	}
@@ -177,15 +185,37 @@ func NewTrustSweep(network *sim.Network, cfg TrustSweepConfig) (*TrustSweep, err
 	if err != nil {
 		return nil, err
 	}
+	api, err := NewHandoutAPI(backend, dists)
+	if err != nil {
+		return nil, err
+	}
 	s := &TrustSweep{
 		Net:        network,
 		Cfg:        cfg,
 		ix:         censor.IndexFor(network),
 		backend:    backend,
+		api:        api,
 		peerByHash: peerIndexByHash(network),
+	}
+	if eo.CaptureCtx != nil {
+		if err := s.Capture(eo.CaptureCtx); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
+
+// Capture implements the shared engine-option capture pass. The trust
+// sweep's shared substrate — the backend ring and handout API — is
+// already built eagerly by NewTrustSweep and its rolling rows carry all
+// remaining state privately, so there is nothing left to warm; the
+// method exists so measure.Capture means the same thing on all three
+// sweeps.
+func (s *TrustSweep) Capture(ctx context.Context) error { return ctx.Err() }
+
+// HandoutAPI returns the shared handout API over the sweep's backend —
+// the same request → handout path the rolling rows resolve through.
+func (s *TrustSweep) HandoutAPI() *HandoutAPI { return s.api }
 
 // Backend returns the shared backend.
 func (s *TrustSweep) Backend() *Backend { return s.backend }
@@ -273,7 +303,7 @@ type trustState struct {
 	banned      []bool
 	compromised []bool // insider-controlled users (Insider rows only)
 	clean       []int  // consecutive clean days, resets on suspicion
-	attempt     []int  // re-request arc offset (see TrustSocial.handoutAt)
+	attempt     []int  // re-request arc offset (see TrustSocial.Grant)
 	handout     [][]Resource
 
 	// Censor state: blacklist + discoveries with the discover/usable
@@ -404,7 +434,12 @@ func (st *trustState) step(h int) {
 		}
 		limit := g.RequestLimit(st.level[u])
 		for r := 0; r < limit; r++ {
-			hr := st.dist.handoutAt(st.part, users[u], day, st.attempt[u])
+			// Serve can only fail on an encoding round trip, which the
+			// trust channel never performs.
+			served, _ := st.s.api.Serve(Request{
+				Dist: st.dist.Name(), ID: users[u].ID, Day: day, Attempt: st.attempt[u],
+			})
+			hr := served.Resources
 			st.handout[u] = hr
 			requests++
 			if st.compromised[u] {
@@ -441,14 +476,14 @@ func (st *trustState) step(h int) {
 		k := st.enum.requestsOn(st.dist.IdentityCost(), &st.crawlCarry)
 		for i := 0; i < k; i++ {
 			id := mix(st.seed, 0x637261776C, uint64(day), uint64(i)) // "crawl"
-			if hr, _ := st.dist.Handout(st.part, id, day); len(hr) > 0 {
-				st.cv.discover(hr, day)
+			if served, _ := st.s.api.Serve(Request{Dist: st.dist.Name(), ID: id, Day: day}); len(served.Resources) > 0 {
+				st.cv.discover(served.Resources, day)
 			}
 		}
 	case Sybil:
 		for _, id := range st.sybils {
-			if hr, _ := st.dist.Handout(st.part, id, day); len(hr) > 0 {
-				st.cv.discover(hr, day)
+			if served, _ := st.s.api.Serve(Request{Dist: st.dist.Name(), ID: id, Day: day}); len(served.Resources) > 0 {
+				st.cv.discover(served.Resources, day)
 			}
 		}
 	}

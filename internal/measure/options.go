@@ -1,0 +1,57 @@
+package measure
+
+import "context"
+
+// EngineOptions is the engine configuration shared by the three sweep
+// constructors (censor.NewSweep, distrib.NewSweep, distrib.NewTrustSweep).
+// Each sweep keeps its own grid declaration — the axes differ — but the
+// engine knobs are one shape: the worker-pool width and an optional
+// construction-time capture pass. Constructors accept EngineOption
+// variadics, so the legacy Workers config fields keep working and options
+// override them.
+type EngineOptions struct {
+	// Workers caps engine concurrency: <= 0 one worker per CPU, 1 the
+	// serial reference path. The determinism contract makes the value
+	// unobservable in results.
+	Workers int
+	// workersSet distinguishes Workers(0) ("auto") from "not configured,
+	// fall back to the legacy config field".
+	workersSet bool
+	// CaptureCtx, when non-nil, asks the constructor to warm the sweep's
+	// shared caches (observation grids, owner tables) through the worker
+	// pool before returning, under this context. Nil skips the pass;
+	// cells then warm the caches lazily.
+	CaptureCtx context.Context
+}
+
+// EngineOption configures one engine knob.
+type EngineOption func(*EngineOptions)
+
+// Workers sets the worker-pool width (<= 0: one worker per CPU).
+func Workers(n int) EngineOption {
+	return func(o *EngineOptions) { o.Workers = n; o.workersSet = true }
+}
+
+// Capture asks the constructor to run the sweep's capture pass before
+// returning, under ctx.
+func Capture(ctx context.Context) EngineOption {
+	return func(o *EngineOptions) { o.CaptureCtx = ctx }
+}
+
+// BuildOptions folds options into the resolved struct.
+func BuildOptions(opts ...EngineOption) EngineOptions {
+	var o EngineOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WorkersOr returns the configured worker count, or fallback when no
+// Workers option was applied.
+func (o EngineOptions) WorkersOr(fallback int) int {
+	if o.workersSet {
+		return o.Workers
+	}
+	return fallback
+}

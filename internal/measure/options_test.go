@@ -1,0 +1,28 @@
+package measure
+
+import (
+	"context"
+	"testing"
+)
+
+// TestEngineOptions: the option shape the three sweep constructors share —
+// Workers overrides legacy config fields only when actually applied, and
+// Workers(0) ("auto") is distinguishable from "not configured".
+func TestEngineOptions(t *testing.T) {
+	if got := BuildOptions().WorkersOr(3); got != 3 {
+		t.Fatalf("unconfigured WorkersOr = %d, want fallback 3", got)
+	}
+	if got := BuildOptions(Workers(5)).WorkersOr(3); got != 5 {
+		t.Fatalf("Workers(5) override = %d", got)
+	}
+	if got := BuildOptions(Workers(0)).WorkersOr(3); got != 0 {
+		t.Fatalf("explicit Workers(0) = %d, want 0 (auto)", got)
+	}
+	if BuildOptions().CaptureCtx != nil {
+		t.Fatal("capture configured by default")
+	}
+	ctx := context.Background()
+	if BuildOptions(Capture(ctx)).CaptureCtx != ctx {
+		t.Fatal("Capture(ctx) not recorded")
+	}
+}

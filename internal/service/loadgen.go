@@ -1,0 +1,166 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the service's load generator: millions of distinct
+// requesting identities driven through the real handler stack
+// in-process (no sockets), measuring throughput and tail latency and
+// spot-checking the determinism contract — the same identity must
+// receive byte-identical JSON every time. It backs
+// BenchmarkServiceHandout and the acceptance run behind
+// BENCH_service.json.
+
+// LoadGenConfig parameterizes a run.
+type LoadGenConfig struct {
+	// Identities is how many distinct identities request once.
+	Identities int
+	// Workers is the driving concurrency (<= 0: one per CPU).
+	Workers int
+	// Dist is the requested frontend (default "https").
+	Dist string
+	// VerifyEvery re-requests every Nth identity and byte-compares the
+	// two bodies (<= 0: 1000; the duplicate requests count toward
+	// throughput).
+	VerifyEvery int
+}
+
+// LoadGenResult reports a run.
+type LoadGenResult struct {
+	Requests       int           `json:"requests"`
+	Errors         int           `json:"errors"`
+	Verified       int           `json:"verified"`
+	Mismatches     int           `json:"mismatches"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
+	RequestsPerSec float64       `json:"requests_per_sec"`
+	P99Latency     time.Duration `json:"p99_latency_ns"`
+}
+
+// discardWriter is the leanest possible http.ResponseWriter: it captures
+// the status code and, only when capture is set, the body — the load
+// generator verifies a sampled subset and discards the rest.
+type discardWriter struct {
+	code    int
+	capture bool
+	body    bytes.Buffer
+	header  http.Header
+}
+
+func (w *discardWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+
+func (w *discardWriter) WriteHeader(code int) { w.code = code }
+
+func (w *discardWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	if w.capture {
+		w.body.Write(p)
+	}
+	return len(p), nil
+}
+
+// LoadGen drives cfg.Identities distinct identities through the handler
+// and reports throughput, p99 latency, and determinism spot-checks.
+func (s *Service) LoadGen(ctx context.Context, cfg LoadGenConfig) (LoadGenResult, error) {
+	if cfg.Identities <= 0 {
+		return LoadGenResult{}, fmt.Errorf("service: loadgen needs identities")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.Dist == "" {
+		cfg.Dist = "https"
+	}
+	if cfg.VerifyEvery <= 0 {
+		cfg.VerifyEvery = 1000
+	}
+	handler := s.Handler()
+
+	var (
+		mu       sync.Mutex
+		res      LoadGenResult
+		allLats  []int64
+		firstErr error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			lats := make([]int64, 0, cfg.Identities/cfg.Workers+1)
+			requests, errors, verified, mismatches := 0, 0, 0, 0
+			var rw discardWriter
+			do := func(id string, capture bool) []byte {
+				rw = discardWriter{capture: capture}
+				req := &http.Request{
+					Method:     http.MethodGet,
+					URL:        &url.URL{Path: "/handout", RawQuery: "dist=" + cfg.Dist + "&id=" + id},
+					RemoteAddr: "192.0.2.1:9999",
+				}
+				t0 := time.Now()
+				handler.ServeHTTP(&rw, req)
+				lats = append(lats, time.Since(t0).Nanoseconds())
+				requests++
+				if rw.code != http.StatusOK {
+					errors++
+				}
+				return rw.body.Bytes()
+			}
+			for n, i := 0, worker; i < cfg.Identities; n, i = n+1, i+cfg.Workers {
+				if n%1024 == 0 && ctx.Err() != nil {
+					break
+				}
+				id := fmt.Sprintf("load-%d", i)
+				verify := i%cfg.VerifyEvery == 0
+				first := append([]byte(nil), do(id, verify)...)
+				if verify {
+					second := do(id, true)
+					verified++
+					if !bytes.Equal(first, second) {
+						mismatches++
+					}
+				}
+			}
+			mu.Lock()
+			res.Requests += requests
+			res.Errors += errors
+			res.Verified += verified
+			res.Mismatches += mismatches
+			allLats = append(allLats, lats...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		firstErr = err
+	}
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.RequestsPerSec = float64(res.Requests) / res.Elapsed.Seconds()
+	}
+	if len(allLats) > 0 {
+		sort.Slice(allLats, func(i, j int) bool { return allLats[i] < allLats[j] })
+		idx := len(allLats) * 99 / 100
+		if idx >= len(allLats) {
+			idx = len(allLats) - 1
+		}
+		res.P99Latency = time.Duration(allLats[idx])
+	}
+	return res, firstErr
+}

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+	"testing"
+)
+
+// TestServiceLoadGen runs a small load generation end to end: every
+// request succeeds and every determinism spot-check matches.
+func TestServiceLoadGen(t *testing.T) {
+	svc := newTestService(t, Config{})
+	res, err := svc.LoadGen(context.Background(), LoadGenConfig{Identities: 3000, VerifyEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Mismatches != 0 {
+		t.Fatalf("loadgen: %d errors, %d mismatches", res.Errors, res.Mismatches)
+	}
+	if res.Verified != 30 {
+		t.Fatalf("verified %d identities, want 30", res.Verified)
+	}
+	if res.Requests != 3030 { // 3000 identities + 30 verification re-requests
+		t.Fatalf("loadgen made %d requests, want 3030", res.Requests)
+	}
+	if res.RequestsPerSec <= 0 || res.P99Latency <= 0 {
+		t.Fatalf("degenerate measurements: %+v", res)
+	}
+}
+
+// TestServiceLoadGenMillionIdentities is the ISSUE's acceptance run: the
+// daemon survives one million distinct identities with per-identity
+// deterministic handouts. Skipped under -short.
+func TestServiceLoadGenMillionIdentities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-identity load run skipped under -short")
+	}
+	svc := newTestService(t, Config{})
+	res, err := svc.LoadGen(context.Background(), LoadGenConfig{Identities: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Mismatches != 0 {
+		t.Fatalf("loadgen: %d errors, %d mismatches", res.Errors, res.Mismatches)
+	}
+	if res.Requests < 1_000_000 {
+		t.Fatalf("loadgen made %d requests, want >= 1M", res.Requests)
+	}
+	t.Logf("1M identities: %.0f req/s, p99 %v", res.RequestsPerSec, res.P99Latency)
+}
+
+// TestLoadGenCancellation covers the ctx exit: a cancelled run stops
+// early and reports the cancellation.
+func TestLoadGenCancellation(t *testing.T) {
+	svc := newTestService(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := svc.LoadGen(ctx, LoadGenConfig{Identities: 1_000_000, Workers: 2})
+	if err == nil {
+		t.Fatal("cancelled loadgen returned nil error")
+	}
+	if res.Requests >= 1_000_000 {
+		t.Fatal("cancelled loadgen ran to completion")
+	}
+}
+
+// benchRequest drives one /handout request through the handler with the
+// load generator's no-socket writer.
+func benchRequest(b *testing.B, h http.Handler, id string) {
+	rw := discardWriter{}
+	req := &http.Request{
+		Method:     http.MethodGet,
+		URL:        &url.URL{Path: "/handout", RawQuery: "dist=https&id=" + id},
+		RemoteAddr: "192.0.2.1:9999",
+	}
+	h.ServeHTTP(&rw, req)
+	if rw.code != http.StatusOK {
+		b.Fatalf("handout status %d", rw.code)
+	}
+}
+
+// BenchmarkServiceHandoutSerial measures the single-requester handout
+// path: admission, grant, arc walk, JSON encoding.
+func BenchmarkServiceHandoutSerial(b *testing.B) {
+	svc := newTestService(b, Config{})
+	h := svc.Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, h, "bench-"+strconv.Itoa(i))
+	}
+}
+
+// BenchmarkServiceHandoutParallel measures the same path under one
+// requester per core, each with a distinct identity stream.
+func BenchmarkServiceHandoutParallel(b *testing.B) {
+	svc := newTestService(b, Config{})
+	h := svc.Handler()
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchRequest(b, h, "bench-"+strconv.FormatInt(ctr.Add(1), 10))
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"context"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/distrib"
+)
+
+// This file is the kraken-style reachability loop: the daemon
+// periodically probes every bridge in the pool, tracks per-bridge
+// consecutive-failure streaks with exponential backoff between retries,
+// and retires a bridge once its streak reaches FailLimit. Retirement
+// filters the bridge out of responses without rebuilding the ring, so
+// survivors keep their hashring assignment (the package invariant).
+
+// ProbeFunc checks one bridge's reachability; nil error means up.
+type ProbeFunc func(r distrib.Resource) error
+
+// RunProber runs the probe loop until ctx is cancelled, probing the
+// whole pool every ProbeInterval. It always returns nil on graceful
+// shutdown — ctx cancellation is the stop signal, not an error.
+func (s *Service) RunProber(ctx context.Context) error {
+	ticker := time.NewTicker(s.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+			s.ProbeOnce(ctx)
+		}
+	}
+}
+
+// ProbeOnce sweeps the pool once: every live bridge whose backoff has
+// elapsed is probed, streaks update, and bridges at FailLimit retire.
+// Exported so tests (and the daemon's startup pass) can drive the loop
+// deterministically without a ticker.
+func (s *Service) ProbeOnce(ctx context.Context) {
+	now := s.cfg.Now()
+	var dead []int
+	for _, name := range s.api.Distributors() {
+		part := s.backend.Partition(name)
+		if part == nil {
+			continue
+		}
+		for _, r := range part.Resources() {
+			if ctx.Err() != nil {
+				return
+			}
+			if s.Retired(r.Peer) {
+				continue
+			}
+			if due, ok := s.nextDue[r.Peer]; ok && now.Before(due) {
+				continue // still backing off from the last failure
+			}
+			if err := s.cfg.Probe(r); err != nil {
+				s.metrics.ObserveProbe("fail")
+				s.streaks[r.Peer]++
+				// Exponential backoff: 1x, 2x, 4x ... ProbeBackoff per
+				// consecutive failure, so a flapping bridge is retried
+				// promptly but a dying one stops burning probe budget.
+				backoff := s.cfg.ProbeBackoff << (s.streaks[r.Peer] - 1)
+				if max := 16 * s.cfg.ProbeBackoff; backoff > max {
+					backoff = max
+				}
+				s.nextDue[r.Peer] = now.Add(backoff)
+				if s.streaks[r.Peer] >= s.cfg.FailLimit {
+					dead = append(dead, r.Peer)
+					s.metrics.ObserveProbe("retired")
+				}
+			} else {
+				s.metrics.ObserveProbe("ok")
+				delete(s.streaks, r.Peer)
+				delete(s.nextDue, r.Peer)
+			}
+		}
+	}
+	if len(dead) > 0 {
+		// rebuildBundles re-encodes from records already proven
+		// encodable, so the only failure mode is a ctx-free internal
+		// bug; surface it on the metrics rather than crashing the loop.
+		if err := s.retire(dead); err != nil {
+			s.metrics.ObserveProbe("fail")
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/distrib"
+	"github.com/i2pstudy/i2pstudy/internal/netdb"
+	"github.com/i2pstudy/i2pstudy/internal/reseed"
+)
+
+// TestProberRetiresDeadBridge is the serving half of the stable-
+// assignment invariant (the ring half is FuzzHashringAssignment's
+// retirement section): a bridge failing FailLimit consecutive probes is
+// retired, its handouts shrink to an order-preserving subsequence,
+// identities it never served are byte-unchanged, the manual-reseed
+// bundle cache is rebuilt without it, and no partition is rebuilt.
+func TestProberRetiresDeadBridge(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		clk = time.Unix(1700000000, 0)
+	)
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clk }
+	advance := func(d time.Duration) { mu.Lock(); clk = clk.Add(d); mu.Unlock() }
+
+	dead := make(map[int]bool) // mutated before any ProbeOnce call only
+	probe := func(r distrib.Resource) error {
+		if dead[r.Peer] {
+			return errors.New("probe: connection refused")
+		}
+		return nil
+	}
+	svc := newTestService(t, Config{
+		Probe:        probe,
+		Now:          now,
+		FailLimit:    2,
+		ProbeBackoff: time.Second,
+	})
+	h := svc.Handler()
+	ctx := context.Background()
+
+	httpsPart := svc.Backend().Partition("https")
+	mrPart := svc.Backend().Partition("manual-reseed")
+	target := httpsPart.Resources()[0].Peer
+	flapper := httpsPart.Resources()[1].Peer
+	mrTarget := mrPart.Resources()[0].Peer
+	mrIdentity := mrPart.Resources()[0].Record.Identity
+	poolSizes := make(map[string]int)
+	for _, name := range svc.HandoutAPI().Distributors() {
+		poolSizes[name] = svc.Backend().Partition(name).Len()
+	}
+
+	// An identity served the https target, one that is not, and one whose
+	// seed bundle carries the manual-reseed target.
+	servesPeer := func(dist string, id string, peer int) (distrib.Handout, bool) {
+		h, err := svc.Serve(distrib.Request{Dist: dist, ID: distrib.IdentityKey(id)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range h.Resources {
+			if r.Peer == peer {
+				return h, true
+			}
+		}
+		return h, false
+	}
+	var hitID, missID, seedID string
+	var before distrib.Handout
+	for i := 0; hitID == "" || missID == "" || seedID == ""; i++ {
+		if i > 100000 {
+			t.Fatal("could not find probe identities")
+		}
+		id := fmt.Sprintf("probe-%d", i)
+		if h, hit := servesPeer("https", id, target); hit && hitID == "" {
+			hitID, before = id, h
+		} else if !hit && missID == "" {
+			missID = id
+		}
+		if seedID == "" {
+			if _, hit := servesPeer("manual-reseed", id, mrTarget); hit {
+				seedID = id
+			}
+		}
+	}
+	missBefore := get(t, h, "/handout?id="+missID, "").Body.Bytes()
+	seedBefore := get(t, h, "/"+reseed.SeedFileName+"?id="+seedID, "").Body.Bytes()
+	if b, err := reseed.ParseBundle(seedBefore); err != nil {
+		t.Fatal(err)
+	} else if !containsIdentity(b, mrIdentity) {
+		t.Fatal("pre-retirement seed bundle missing the target record")
+	}
+
+	// Kill both targets plus a flapper. One failure is a streak, not a
+	// retirement; a probe inside the backoff window is skipped; the
+	// second counted failure retires.
+	dead[target], dead[mrTarget], dead[flapper] = true, true, true
+	svc.ProbeOnce(ctx)
+	if svc.Retired(target) {
+		t.Fatal("retired after a single probe failure")
+	}
+	svc.ProbeOnce(ctx) // still inside backoff: must not advance the streak
+	if svc.Retired(target) {
+		t.Fatal("backoff window did not suppress the re-probe")
+	}
+	delete(dead, flapper) // recovers before its second probe
+	advance(2 * time.Second)
+	svc.ProbeOnce(ctx)
+	if !svc.Retired(target) || !svc.Retired(mrTarget) {
+		t.Fatalf("targets not retired after FailLimit failures (retired=%d)", svc.RetiredCount())
+	}
+	if svc.RetiredCount() != 2 {
+		t.Fatalf("RetiredCount = %d, want 2", svc.RetiredCount())
+	}
+
+	// The dead bridge's handout shrinks to an order-preserving
+	// subsequence; everything else about it is unchanged.
+	after, err := svc.Serve(distrib.Request{Dist: "https", ID: distrib.IdentityKey(hitID)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Resources) != len(before.Resources)-1 {
+		t.Fatalf("filtered handout has %d resources, want %d", len(after.Resources), len(before.Resources)-1)
+	}
+	j := 0
+	for _, r := range after.Resources {
+		if r.Peer == target {
+			t.Fatal("retired bridge still served")
+		}
+		for j < len(before.Resources) && before.Resources[j].Peer != r.Peer {
+			j++
+		}
+		if j == len(before.Resources) {
+			t.Fatal("filtered handout is not a subsequence of the original")
+		}
+		j++
+	}
+
+	// Identities the dead bridge never served are byte-unchanged.
+	if missAfter := get(t, h, "/handout?id="+missID, "").Body.Bytes(); !bytes.Equal(missBefore, missAfter) {
+		t.Fatal("handout without the dead bridge changed under retirement")
+	}
+
+	// The seed bundle was rebuilt without the dead record, survivors in
+	// order; and no partition was rebuilt — survivors keep their arcs.
+	seedAfter := get(t, h, "/"+reseed.SeedFileName+"?id="+seedID, "").Body.Bytes()
+	b, err := reseed.ParseBundle(seedAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsIdentity(b, mrIdentity) {
+		t.Fatal("rebuilt seed bundle still carries the retired record")
+	}
+	for name, n := range poolSizes {
+		if got := svc.Backend().Partition(name).Len(); got != n {
+			t.Fatalf("partition %s rebuilt under retirement: %d -> %d resources", name, n, got)
+		}
+	}
+
+	// Metrics saw the retirements and the gauge dropped.
+	metrics := svc.Metrics().Render()
+	for _, want := range []string{
+		`i2pdistribd_probe_total{outcome="retired"} 2`,
+		fmt.Sprintf(`i2pdistribd_pool_size{dist="https"} %d`, poolSizes["https"]-1),
+		fmt.Sprintf(`i2pdistribd_pool_size{dist="manual-reseed"} %d`, poolSizes["manual-reseed"]-1),
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+
+	// The flapper recovered before FailLimit: not retired, streak reset.
+	if svc.Retired(flapper) {
+		t.Fatal("flapping bridge retired despite recovering")
+	}
+	if _, ok := svc.streaks[flapper]; ok {
+		t.Fatalf("flapper streak not cleared after recovery: %v", svc.streaks)
+	}
+}
+
+func containsIdentity(b *reseed.Bundle, id netdb.Hash) bool {
+	for _, rec := range b.Records {
+		if rec.Identity == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRunProberStopsOnCancel covers the loop's graceful-shutdown path.
+func TestRunProberStopsOnCancel(t *testing.T) {
+	svc := newTestService(t, Config{ProbeInterval: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- svc.RunProber(ctx) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("RunProber returned %v on cancel, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunProber did not stop on ctx cancel")
+	}
+}

@@ -1,0 +1,270 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/i2pstudy/i2pstudy/internal/censor"
+	"github.com/i2pstudy/i2pstudy/internal/distrib"
+	"github.com/i2pstudy/i2pstudy/internal/reseed"
+	"github.com/i2pstudy/i2pstudy/internal/sim"
+)
+
+var (
+	netOnce sync.Once
+	netVal  *sim.Network
+	netErr  error
+)
+
+// network returns the shared test network (built once per test binary).
+func network(t testing.TB) *sim.Network {
+	t.Helper()
+	netOnce.Do(func() {
+		netVal, netErr = sim.New(sim.Config{Seed: 2018, Days: 45, TargetDailyPeers: 600})
+	})
+	if netErr != nil {
+		t.Fatal(netErr)
+	}
+	return netVal
+}
+
+// newTestService builds a service over the shared network on day 10 with
+// the paper's combined pool strategy; cfg carries per-test overrides
+// (rate limit, probe hooks, clock).
+func newTestService(t testing.TB, cfg Config) *Service {
+	t.Helper()
+	if cfg.Day == 0 {
+		cfg.Day = 10
+	}
+	cfg.Strategy = censor.BridgeCombined
+	cfg.Seed = 2018
+	svc, err := NewService(network(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// get drives one request through the handler without a socket.
+func get(t testing.TB, h http.Handler, target, remote string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	if remote != "" {
+		req.RemoteAddr = remote
+	}
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	return rw
+}
+
+// TestHandoutGoldenAcrossRestart is the restart half of the determinism
+// contract: two independently built daemons over the same (seed, scale,
+// day) serve byte-identical bodies on every endpoint — the JSON handout
+// for each frontend and the signed seed bundle alike.
+func TestHandoutGoldenAcrossRestart(t *testing.T) {
+	build := func() *Service {
+		n, err := sim.New(sim.Config{Seed: 2018, Days: 45, TargetDailyPeers: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := NewService(n, Config{Day: 10, Strategy: censor.BridgeCombined, Seed: 2018})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	h1, h2 := build().Handler(), build().Handler()
+
+	ids := []string{"alice", "bob", "carol-7", "load-123456"}
+	granted := 0
+	for _, dist := range []string{"https", "email", "social", "manual-reseed"} {
+		for _, id := range ids {
+			target := fmt.Sprintf("/handout?dist=%s&id=%s", dist, id)
+			r1, r2 := get(t, h1, target, ""), get(t, h2, target, "")
+			if r1.Code != http.StatusOK {
+				t.Fatalf("GET %s: status %d", target, r1.Code)
+			}
+			if !bytes.Equal(r1.Body.Bytes(), r2.Body.Bytes()) {
+				t.Fatalf("GET %s: bodies differ across restart:\n%s\nvs\n%s",
+					target, r1.Body.String(), r2.Body.String())
+			}
+			if strings.Contains(r1.Body.String(), `"granted":true`) {
+				granted++
+			}
+		}
+	}
+	if granted == 0 {
+		t.Fatal("no request was granted; the golden comparison is vacuous")
+	}
+	for _, id := range ids {
+		target := "/" + reseed.SeedFileName + "?id=" + id
+		r1, r2 := get(t, h1, target, ""), get(t, h2, target, "")
+		if r1.Code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", target, r1.Code)
+		}
+		if !bytes.Equal(r1.Body.Bytes(), r2.Body.Bytes()) {
+			t.Fatalf("GET %s: seed bundles differ across restart", target)
+		}
+	}
+}
+
+// TestRateLimit429 drives one identity past its token bucket on a fake
+// clock: the burst is served, the next request is 429 with Retry-After,
+// an unrelated identity is unaffected, and the bucket refills with time.
+func TestRateLimit429(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		clk = time.Unix(1700000000, 0)
+	)
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clk }
+	advance := func(d time.Duration) { mu.Lock(); clk = clk.Add(d); mu.Unlock() }
+
+	svc := newTestService(t, Config{RatePerSec: 1, Burst: 2, Now: now})
+	h := svc.Handler()
+
+	for i := 0; i < 2; i++ {
+		if r := get(t, h, "/handout?id=alice", ""); r.Code != http.StatusOK {
+			t.Fatalf("burst request %d: status %d", i, r.Code)
+		}
+	}
+	r := get(t, h, "/handout?id=alice", "")
+	if r.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-burst request: status %d, want 429", r.Code)
+	}
+	if r.Header().Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+	if r := get(t, h, "/handout?id=bob", ""); r.Code != http.StatusOK {
+		t.Fatalf("unrelated identity rate-limited: status %d", r.Code)
+	}
+	advance(1500 * time.Millisecond)
+	if r := get(t, h, "/handout?id=alice", ""); r.Code != http.StatusOK {
+		t.Fatalf("bucket did not refill: status %d", r.Code)
+	}
+}
+
+// bridgeAddr finds a published bridge address on the backend — the
+// blacklist only speaks the study's interned address table.
+func bridgeAddr(t *testing.T, svc *Service) netip.Addr {
+	t.Helper()
+	for _, name := range svc.HandoutAPI().Distributors() {
+		for _, r := range svc.Backend().Partition(name).Resources() {
+			for _, a := range r.Record.Addresses {
+				if a.Addr.IsValid() {
+					return a.Addr
+				}
+			}
+		}
+	}
+	t.Fatal("no published bridge address in the pool")
+	return netip.Addr{}
+}
+
+// TestBlacklist403 blocks a client address and watches the daemon refuse
+// it on every identity until unblocked.
+func TestBlacklist403(t *testing.T) {
+	svc := newTestService(t, Config{})
+	h := svc.Handler()
+	addr := bridgeAddr(t, svc)
+	remote := net.JoinHostPort(addr.String(), "4444")
+
+	if r := get(t, h, "/handout?id=alice", remote); r.Code != http.StatusOK {
+		t.Fatalf("pre-block: status %d", r.Code)
+	}
+	if !svc.Blacklist().Block(addr) {
+		t.Fatalf("Block(%s) = false", addr)
+	}
+	for _, id := range []string{"alice", "bob"} {
+		if r := get(t, h, "/handout?id="+id, remote); r.Code != http.StatusForbidden {
+			t.Fatalf("blocked address served id=%s: status %d", id, r.Code)
+		}
+	}
+	if r := get(t, h, "/"+reseed.SeedFileName+"?id=alice", remote); r.Code != http.StatusForbidden {
+		t.Fatalf("blocked address served seeds: status %d", r.Code)
+	}
+	if r := get(t, h, "/handout?id=alice", "192.0.2.1:1"); r.Code != http.StatusOK {
+		t.Fatalf("unrelated address caught by blacklist: status %d", r.Code)
+	}
+	if !svc.Blacklist().Unblock(addr) {
+		t.Fatalf("Unblock(%s) = false", addr)
+	}
+	if r := get(t, h, "/handout?id=alice", remote); r.Code != http.StatusOK {
+		t.Fatalf("post-unblock: status %d", r.Code)
+	}
+	if svc.Blacklist().Block(netip.MustParseAddr("203.0.113.99")) {
+		t.Fatal("blocked an address the study never interned")
+	}
+}
+
+// TestSeedsRoundTrip parses the served su3 bundle and checks it is
+// exactly the requester's granted arc, signed by the configured signer.
+func TestSeedsRoundTrip(t *testing.T) {
+	svc := newTestService(t, Config{Signer: "roundtrip-test"})
+	h := svc.Handler()
+
+	const id = "seed-client"
+	r := get(t, h, "/"+reseed.SeedFileName+"?id="+id, "")
+	if r.Code != http.StatusOK {
+		t.Fatalf("GET seeds: status %d", r.Code)
+	}
+	bundle, err := reseed.ParseBundle(r.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bundle.Signer != "roundtrip-test" {
+		t.Fatalf("bundle signer %q, want %q", bundle.Signer, "roundtrip-test")
+	}
+
+	api := svc.HandoutAPI()
+	key, granted, err := api.Key(distrib.Request{Dist: "manual-reseed", ID: distrib.IdentityKey(id), Day: 10})
+	if err != nil || !granted {
+		t.Fatalf("Key: granted=%v err=%v", granted, err)
+	}
+	d, _ := api.Distributor("manual-reseed")
+	g, _ := d.Grant(distrib.IdentityKey(id), 10, 0)
+	want := svc.Backend().Partition("manual-reseed").GetMany(key, g.Count)
+	if len(bundle.Records) != len(want) {
+		t.Fatalf("bundle has %d records, want %d", len(bundle.Records), len(want))
+	}
+	for i, rec := range bundle.Records {
+		if rec.Identity != want[i].Record.Identity {
+			t.Fatalf("record %d identity mismatch", i)
+		}
+	}
+}
+
+// TestMetricsRender checks the exposition carries the request counters,
+// pool gauges and the latency histogram after live traffic.
+func TestMetricsRender(t *testing.T) {
+	svc := newTestService(t, Config{})
+	h := svc.Handler()
+
+	get(t, h, "/handout?id=alice", "")
+	get(t, h, "/handout?id=bob", "")
+	get(t, h, "/handout", "") // missing id: 400
+
+	r := get(t, h, "/metrics", "")
+	if r.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", r.Code)
+	}
+	body := r.Body.String()
+	for _, want := range []string{
+		`i2pdistribd_requests_total{dist="https",code="200"} 2`,
+		`i2pdistribd_requests_total{dist="https",code="400"} 1`,
+		`i2pdistribd_pool_size{dist="https"}`,
+		`i2pdistribd_probe_total{outcome="ok"}`,
+		`i2pdistribd_handout_latency_seconds_count 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}

@@ -15,10 +15,16 @@
 #                         rows = (frontend x enumerator) combinations
 #                         (days within a row are inherently sequential,
 #                         so rows are the parallelism grain)
+#   BENCH_service.json  — the resident distributor daemon
+#                         (cmd/i2pdistribd): the handout benchmark pair
+#                         plus a load generation of SERVICE_IDENTITIES
+#                         (default 1M) distinct identities through the
+#                         real handler stack, reporting requests/sec and
+#                         p99 latency
 #
 # Usage:
 #
-#   ./scripts/bench.sh [campaign.json [censor.json [distrib.json [rolling.json [trust.json]]]]]
+#   ./scripts/bench.sh [campaign.json [censor.json [distrib.json [rolling.json [trust.json [service.json]]]]]]
 #
 # Refresh procedure for the committed baselines: run this script from
 # the repo root on an idle machine (BENCHTIME=3x default; raise it for
@@ -41,6 +47,7 @@ censor_out="${2:-BENCH_censor.json}"
 distrib_out="${3:-BENCH_distrib.json}"
 rolling_out="${4:-BENCH_rolling.json}"
 trust_out="${5:-BENCH_trust.json}"
+service_out="${6:-BENCH_service.json}"
 benchtime="${BENCHTIME:-3x}"
 
 cores="$(go env GOMAXPROCS 2>/dev/null || echo 0)"
@@ -113,6 +120,49 @@ run_rolling() {
   cat "$out"
 }
 
+# run_service OUT — the resident daemon: the serial/parallel handout
+# benchmark pair, then a full load generation through cmd/i2pdistribd
+# (the ISSUE acceptance run) for requests/sec and p99 latency.
+run_service() {
+  local out="$1"
+  local raw serial parallel loadjson rps p99
+  raw="$(go test ./internal/service/ -run '^$' \
+    -bench 'BenchmarkServiceHandout(Serial|Parallel)$' -benchtime="$benchtime")"
+  echo "$raw"
+
+  serial="$(bench_ns "$raw" BenchmarkServiceHandoutSerial)"
+  parallel="$(bench_ns "$raw" BenchmarkServiceHandoutParallel)"
+  if [ -z "$serial" ] || [ -z "$parallel" ]; then
+    echo "bench.sh: failed to parse service benchmark output" >&2
+    exit 1
+  fi
+
+  loadjson="$(go run ./cmd/i2pdistribd -rate 0 \
+    -scale "${SERVICE_SCALE:-0.1}" -loadgen "${SERVICE_IDENTITIES:-1000000}")"
+  echo "$loadjson"
+  rps="$(echo "$loadjson" | sed -n 's/.*"requests_per_sec":[[:space:]]*\([0-9.][0-9.]*\).*/\1/p')"
+  p99="$(echo "$loadjson" | sed -n 's/.*"p99_latency_ns":[[:space:]]*\([0-9][0-9]*\).*/\1/p')"
+  if [ -z "$rps" ] || [ -z "$p99" ]; then
+    echo "bench.sh: failed to parse loadgen output" >&2
+    exit 1
+  fi
+
+  awk -v serial="$serial" -v parallel="$parallel" -v rps="$rps" -v p99="$p99" -v cores="$cores" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"distributor-service\",\n"
+    printf "  \"serial_ns_per_op\": %d,\n", serial
+    printf "  \"parallel_ns_per_op\": %d,\n", parallel
+    printf "  \"speedup\": %.3f,\n", serial / parallel
+    printf "  \"requests_per_sec\": %.1f,\n", rps
+    printf "  \"p99_latency_ns\": %d,\n", p99
+    printf "  \"cores\": %d\n", cores
+    printf "}\n"
+  }' > "$out"
+
+  echo "wrote $out:"
+  cat "$out"
+}
+
 run_pair ./internal/measure/ 'BenchmarkCampaign(Serial|Parallel)$' \
   BenchmarkCampaignSerial BenchmarkCampaignParallel campaign-engine "$campaign_out"
 
@@ -126,3 +176,5 @@ run_pair ./internal/distrib/ 'BenchmarkTrustSweep(Serial|Parallel)$' \
   BenchmarkTrustSweepSerial BenchmarkTrustSweepParallel trust-sweep-engine "$trust_out"
 
 run_rolling "$rolling_out"
+
+run_service "$service_out"

@@ -5,9 +5,11 @@
 #
 #   ./scripts/bench_compare.sh BASELINE_DIR FRESH_DIR [THRESHOLD_PCT]
 #
-# Compares every *_ns_per_op field of each BENCH_*.json present in both
-# directories and prints a WARN line when the fresh value is slower than
-# the baseline by more than THRESHOLD_PCT (default 25%). Always exits 0:
+# Compares every *_ns_per_op field (plus the service's p99_latency_ns)
+# of each BENCH_*.json present in both directories and prints a WARN
+# line when the fresh value is slower than the baseline by more than
+# THRESHOLD_PCT (default 25%). When the two files record different
+# "cores" counts the comparison is flagged as cross-hardware. Always exits 0:
 # ns/op is hardware-relative and CI runners are noisy, so the committed
 # baselines are a perf trajectory to eyeball, not a gate. Refresh them
 # with scripts/bench.sh (see its header) when a PR legitimately moves
@@ -18,9 +20,16 @@ base="${1:?usage: bench_compare.sh BASELINE_DIR FRESH_DIR [THRESHOLD_PCT]}"
 fresh="${2:?usage: bench_compare.sh BASELINE_DIR FRESH_DIR [THRESHOLD_PCT]}"
 thr="${3:-25}"
 
-# fields FILE — emit "key value" for every *_ns_per_op field.
+# fields FILE — emit "key value" for every latency field: *_ns_per_op
+# plus the service's p99_latency_ns.
 fields() {
-  sed -n 's/.*"\([a-z_]*ns_per_op\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' "$1"
+  sed -n -e 's/.*"\([a-z_]*ns_per_op\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
+    -e 's/.*"\(p99_latency_ns\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' "$1"
+}
+
+# cores_of FILE — the core count the file's numbers were taken on.
+cores_of() {
+  sed -n 's/.*"cores":[[:space:]]*\([0-9][0-9]*\).*/\1/p' "$1" | head -n 1
 }
 
 warned=0
@@ -34,6 +43,14 @@ for bf in "$base"/BENCH_*.json; do
     echo "WARN: $name present in baseline but missing from fresh results"
     warned=1
     continue
+  fi
+  # Different core counts mean the per-op numbers (and especially the
+  # speedups) were taken on different hardware — flag the comparison as
+  # cross-machine so the deltas are read accordingly.
+  bcores="$(cores_of "$bf")"
+  fcores="$(cores_of "$ff")"
+  if [ -n "$bcores" ] && [ -n "$fcores" ] && [ "$bcores" != "$fcores" ]; then
+    echo "note: $name: cores differ (baseline $bcores, fresh $fcores); deltas are cross-hardware"
   fi
   while read -r key bval; do
     fval="$(fields "$ff" | awk -v k="$key" '$1 == k {print $2; exit}')"
