@@ -10,6 +10,7 @@
 // Usage:
 //
 //	i2pcensor [-scale 0.1] [-seed 2018] [-experiment figure-13]
+//	i2pcensor -cpuprofile cpu.out -memprofile mem.out -experiment figure-13
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"syscall"
 
 	"github.com/i2pstudy/i2pstudy/internal/core"
+	"github.com/i2pstudy/i2pstudy/internal/prof"
 )
 
 func main() {
@@ -35,7 +37,19 @@ func main() {
 	days := flag.Int("days", 45, "study horizon in days (>= 40)")
 	workers := flag.Int("workers", 0, "engine concurrency (0 = one worker per CPU, 1 = serial)")
 	experiment := flag.String("experiment", "", "run a single experiment by ID")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -6,6 +6,7 @@
 //
 //	i2pmeasure -list
 //	i2pmeasure [-scale 0.1] [-seed 2018] [-workers 0] [-experiment figure-05] [-snapshot-dir DIR]
+//	i2pmeasure -cpuprofile cpu.out -memprofile mem.out -experiment figure-05
 //
 // Without -experiment, every measurement experiment runs in order.
 // Experiments and the campaign engine fan out across -workers goroutines
@@ -30,6 +31,7 @@ import (
 
 	"github.com/i2pstudy/i2pstudy/internal/core"
 	"github.com/i2pstudy/i2pstudy/internal/measure"
+	"github.com/i2pstudy/i2pstudy/internal/prof"
 )
 
 // measurementIDs are the Section 5 artifacts plus the ablation studies
@@ -52,6 +54,8 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	snapshotDir := flag.String("snapshot-dir", "", "persist daily netDb snapshots (routerInfo-*.dat) under this directory")
 	csvDir := flag.String("csv-dir", "", "write each figure's data series as CSV under this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -60,6 +64,16 @@ func main() {
 		}
 		return
 	}
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

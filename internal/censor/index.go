@@ -25,6 +25,12 @@ type AddrIndex struct {
 	// segs holds, per peer index, the FromDay-ordered schedule with
 	// interned address IDs; nil for peers that never publish an address.
 	segs [][]idSeg
+
+	// wcPool recycles WindowCounters across sweep rows and
+	// BlockingSeries calls (see NewWindowCounter/ReleaseWindowCounter).
+	// The pool does not make the index mutable in any observable way:
+	// counters are private per row while in use and zeroed on release.
+	wcPool sync.Pool
 }
 
 // idSeg is one interned segment of a peer's address schedule. IDs are -1
@@ -165,6 +171,13 @@ func (s *AddrSet) Has(id int32) bool {
 // cheaper than the from-scratch union it replaces.
 func (s *AddrSet) Clone() *AddrSet {
 	return &AddrSet{words: append([]uint64(nil), s.words...), count: s.count}
+}
+
+// Clear empties the set in place, keeping its capacity — the reuse
+// primitive behind WindowCounter.Reset.
+func (s *AddrSet) Clear() {
+	clear(s.words)
+	s.count = 0
 }
 
 // Len returns the number of addresses in the set.

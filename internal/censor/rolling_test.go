@@ -25,7 +25,7 @@ type cellProbe struct {
 // probeCells runs the sweep grid through the rolling Each path and
 // captures a probe per cell. samples are the peer indexes the snapshot
 // predicate is evaluated over.
-func probeCells(t *testing.T, sw *Sweep, samples []int) []cellProbe {
+func probeCells(t testing.TB, sw *Sweep, samples []int) []cellProbe {
 	t.Helper()
 	probes := make([]cellProbe, len(sw.Cells()))
 	err := sw.Each(context.Background(), func(i int, cu *Cursor) error {
@@ -254,6 +254,7 @@ func rollingBenchGrid(b *testing.B, workers int) *Sweep {
 func benchmarkSweepRolling(b *testing.B, workers int) {
 	sw := rollingBenchGrid(b, workers)
 	rates := make([]float64, len(sw.Cells()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		err := sw.Each(context.Background(), func(i int, cu *Cursor) error {
@@ -285,6 +286,7 @@ func BenchmarkSweepFromScratchSerial(b *testing.B) {
 	sw := rollingBenchGrid(b, 1)
 	cells := sw.Cells()
 	rates := make([]float64, len(cells))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j, cell := range cells {

@@ -1,0 +1,120 @@
+package censor
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"github.com/i2pstudy/i2pstudy/internal/measure/enginetest"
+)
+
+// TestSweepSplitRowsMatchUnsplit is the seam-stitching golden: across
+// randomized (fleet, window, day) grids, a plan whose rolling rows are
+// force-cut into segments — each later segment rebuilding its window
+// from scratch at the seam — produces blacklists, rates and predicates
+// byte-identical to the unsplit serial reference, at every enginetest
+// ladder width (1, 4, NumCPU, auto). CI runs it under -race, so the
+// extra concurrently-live segments also prove the shared memos and the
+// WindowCounter pool race-free.
+func TestSweepSplitRowsMatchUnsplit(t *testing.T) {
+	n := network(t)
+	rng := rand.New(rand.NewPCG(13, 2026))
+	samples := make([]int, 32)
+	for i := range samples {
+		samples[i] = rng.IntN(len(n.Peers))
+	}
+	randomVals := func(count, lo, hi int) []int {
+		out := make([]int, count)
+		for i := range out {
+			out[i] = lo + rng.IntN(hi-lo+1)
+		}
+		return out
+	}
+	for trial := 0; trial < 3; trial++ {
+		cfg := SweepConfig{
+			Fleets:   randomVals(1+rng.IntN(3), 1, 8),
+			Windows:  randomVals(1+rng.IntN(3), 1, 12),
+			Days:     randomVals(4+rng.IntN(4), 0, n.Days()-1), // unsorted, dups possible
+			SeedBase: 7300 + uint64(trial),
+			Workers:  1,
+		}
+		// Budget 2x the priciest cell: every row's per-cell cost (its
+		// fleet size) fits, so every row longer than two cells cuts.
+		budget := 0
+		for _, f := range cfg.Fleets {
+			if 2*f > budget {
+				budget = 2 * f
+			}
+		}
+		ref, err := NewSweep(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := probeCells(t, ref, samples)
+		rows := len(cfg.Windows) * len(cfg.Fleets)
+
+		runSplit := func(t testing.TB, workers int) any {
+			c := cfg
+			c.Workers = workers
+			sw, err := NewSweep(n, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw.splitBudget = budget
+			if plan := sw.rowPlan(sw.Cells()); len(plan) <= rows {
+				t.Fatalf("budget %d left the plan unsplit (%d rows)", budget, len(plan))
+			}
+			return probeCells(t, sw, samples)
+		}
+		// The ladder proves the split plan worker-count-independent; the
+		// direct comparison proves its serial pass equals the unsplit
+		// reference — together: splitting changes scheduling, not bytes.
+		enginetest.Golden(t, []enginetest.Case{{
+			Name: fmt.Sprintf("trial-%d", trial),
+			Run:  runSplit,
+		}})
+		if got := runSplit(t, 1); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: split serial probes differ from the unsplit reference", trial)
+		}
+	}
+}
+
+// TestSweepProductionPlanSplitsWideRows: on a grid with one dominant
+// (window, fleet) row, the production cost model (cost = fleet, seam =
+// window x fleet rebuild) actually cuts when a pool is available, and
+// the resulting probes still match the unsplit serial reference —
+// covering PlanRowsCost end-to-end, not just the forced test hook.
+func TestSweepProductionPlanSplitsWideRows(t *testing.T) {
+	n := network(t)
+	days := make([]int, 0, 24)
+	for d := 2; d < 26; d++ {
+		days = append(days, d)
+	}
+	cfg := SweepConfig{
+		Fleets:   []int{1, 16},
+		Windows:  []int{1, 2},
+		Days:     days,
+		SeedBase: 7400,
+		Workers:  1,
+	}
+	ref, err := NewSweep(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []int{0, 7, 49, 343}
+	want := probeCells(t, ref, samples)
+	rows := len(cfg.Windows) * len(cfg.Fleets)
+
+	cfg.Workers = 4
+	sw, err := NewSweep(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan := sw.rowPlan(sw.Cells()); len(plan) <= rows {
+		t.Fatalf("production cost model left the plan unsplit (%d rows)", len(plan))
+	}
+	if got := probeCells(t, sw, samples); !reflect.DeepEqual(got, want) {
+		t.Fatal("production split probes differ from the unsplit serial reference")
+	}
+}

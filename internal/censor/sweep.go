@@ -64,6 +64,13 @@ type Sweep struct {
 	Cfg    SweepConfig
 	Censor *Censor
 	Victim *Victim
+
+	// splitBudget, when positive, overrides the cost-aware planner with a
+	// fixed per-segment budget and a free seam estimate, forcing rows to
+	// split far more aggressively than the planner ever would. It exists
+	// for the seam-stitching goldens, which prove split schedules
+	// byte-identical to unsplit ones; production callers leave it zero.
+	splitBudget int
 }
 
 // NewSweep validates the grid and builds the shared adversary.
@@ -188,11 +195,26 @@ func (s *Sweep) Capture(ctx context.Context) error {
 // row by day (stably — equal days share a blacklist, so order between
 // them cannot matter) guarantees its WindowCounter only ever slides
 // forward.
+//
+// Planning is cost-aware: sliding a row one day touches the entering
+// and expiring day-slices of every fleet router, so a cell's estimated
+// cost is its Fleet, and a row whose total exceeds the per-worker
+// budget is cut into segments. The seam estimate is Window x Fleet —
+// a segment's first cell starts from an empty WindowCounter, whose
+// fill is exactly the from-scratch union the rolling path is tested
+// byte-identical against — so wide-window rows, whose seams rival their
+// bodies, stay whole while cheap-seam rows stop binding tail latency.
 func (s *Sweep) rowPlan(cells []Cell) measure.RowPlan {
 	rows := len(s.Cfg.Windows) * len(s.Cfg.Fleets)
-	return measure.PlanRows(len(cells), rows,
-		func(i int) int { return i % rows },
-		func(i int) int { return cells[i].Day })
+	rowOf := func(i int) int { return i % rows }
+	key := func(i int) int { return cells[i].Day }
+	cost := func(i int) int { return cells[i].Fleet }
+	seam := func(i int) int { return cells[i].Window * cells[i].Fleet }
+	if s.splitBudget > 0 {
+		return measure.PlanRows(len(cells), rows, rowOf, key).
+			SplitRows(cost, nil, s.splitBudget)
+	}
+	return measure.PlanRowsCost(len(cells), rows, rowOf, key, cost, seam, s.Cfg.Workers)
 }
 
 // rowState is one row's rolling blacklist: a WindowCounter covering the
@@ -297,20 +319,38 @@ func (cu *Cursor) BlockedPeerFunc() func(peerIdx int) bool {
 }
 
 // Each evaluates fn for every cell of the grid. Cells are scheduled as
-// rolling rows — one (window, fleet) row per worker at a time, days
-// ascending, each row sliding one WindowCounter across its days (lazily,
-// on first cursor access) — but fn still receives the cell's position in
-// Cells() order, so callers write results into preallocated slots and
-// the determinism contract of measure.ObserveGrid applies unchanged: any
-// Workers value yields byte-identical results. The first error (or ctx
-// cancellation) stops the remaining cells.
+// rolling rows — one (window, fleet) row (or cost-split segment of one)
+// per worker at a time, days ascending, each row sliding one
+// WindowCounter across its days (lazily, on first cursor access) — but
+// fn still receives the cell's position in Cells() order, so callers
+// write results into preallocated slots and the determinism contract of
+// measure.ObserveGrid applies unchanged: any Workers value yields
+// byte-identical results. The first error (or ctx cancellation) stops
+// the remaining cells.
+//
+// The Cursor handed to fn is only valid until the callback returns: each
+// plan row reuses one Cursor across its cells (a row runs sequentially
+// on one worker), and the rows' WindowCounters return to the index's
+// pool when Each returns. Snapshotting accessors (BlockedPeerFunc)
+// remain safe to retain — they copy what they need.
 func (s *Sweep) Each(ctx context.Context, fn func(i int, cu *Cursor) error) error {
 	cells := s.Cells()
 	plan := s.rowPlan(cells)
 	states := make([]rowState, len(plan))
-	return measure.FanRows(ctx, plan, s.Cfg.Workers, func(row, i int) error {
-		return fn(i, &Cursor{s: s, cell: cells[i], st: &states[row]})
+	cursors := make([]Cursor, len(plan))
+	err := measure.FanRows(ctx, plan, s.Cfg.Workers, func(row, i int) error {
+		cu := &cursors[row]
+		cu.s, cu.cell, cu.st = s, cells[i], &states[row]
+		return fn(i, cu)
 	})
+	// FanRows has joined every worker, so no row still touches its state;
+	// recycle the counters for the next sweep (or BlockingSeries call).
+	for i := range states {
+		if states[i].wc != nil {
+			s.Censor.ix.ReleaseWindowCounter(states[i].wc)
+		}
+	}
+	return err
 }
 
 // Blacklist returns the cell's blacklist as a set over the network's
@@ -349,6 +389,7 @@ func (s *Sweep) BlockingRate(cell Cell) float64 {
 func (s *Sweep) BlockingSeries(window, day, maxFleet int) []float64 {
 	vic := s.Victim.addrSet(day)
 	wc := s.Censor.ix.NewWindowCounter()
+	defer s.Censor.ix.ReleaseWindowCounter(wc)
 	blocked := 0
 	onEnter := func(id int32) {
 		if vic.Has(id) {

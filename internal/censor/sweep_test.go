@@ -251,6 +251,7 @@ func benchmarkFigure13Sweep(b *testing.B, workers int) {
 		b.Fatal(err)
 	}
 	indexFor(n) // the shared index is built once per network; exclude it
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fig, err := Figure13Context(context.Background(), n, 20, []int{1, 5, 10, 20, 30}, 35, 700, workers)

@@ -26,9 +26,25 @@ type WindowCounter struct {
 }
 
 // NewWindowCounter returns an empty counter sized for the index's
-// address table.
+// address table, recycling a previously released one when available:
+// the counts array and set words are the sweep engines' per-row
+// allocation hot spot (one table-sized pair per rolling row, more once
+// long rows split into segments), so rows draw from a per-index pool
+// instead of handing the garbage collector a fresh table each time.
 func (ix *AddrIndex) NewWindowCounter() *WindowCounter {
+	if v := ix.wcPool.Get(); v != nil {
+		return v.(*WindowCounter) // Reset on release, so ready to use
+	}
 	return &WindowCounter{counts: make([]int32, ix.NumAddrs()), set: ix.NewSet()}
+}
+
+// ReleaseWindowCounter resets wc and returns it to the index's pool for
+// a later NewWindowCounter. The caller must not touch wc afterwards.
+// Releasing is optional — an unreleased counter is simply collected —
+// and must only ever see counters obtained from the same index.
+func (ix *AddrIndex) ReleaseWindowCounter(wc *WindowCounter) {
+	wc.Reset()
+	ix.wcPool.Put(wc)
 }
 
 // AddDay folds one day-slice into the window. Negative IDs (absent
@@ -70,6 +86,17 @@ func (w *WindowCounter) RemoveDay(ids []int32) {
 			w.set.Remove(id)
 		}
 	}
+}
+
+// Reset empties the counter so it can be reused for another row. The
+// expiry-count invariant makes the wipe sparse: counts[id] > 0 exactly
+// for the set's members, so only those entries need zeroing — O(live
+// set + set words) instead of O(address table). A counter corrupted by
+// removing a never-added slice (negative counts live outside the set)
+// is not rescued by Reset, matching the invariant's existing contract.
+func (w *WindowCounter) Reset() {
+	w.set.ForEach(func(id int32) { w.counts[id] = 0 })
+	w.set.Clear()
 }
 
 // Set returns the live membership set (addresses with count > 0). It is

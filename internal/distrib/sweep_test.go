@@ -201,6 +201,7 @@ func benchmarkDistribSweep(b *testing.B, workers int) {
 		SeedBase:     2018,
 		Workers:      workers,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sw, err := NewSweep(n, cfg)

@@ -144,6 +144,14 @@ type TrustSweep struct {
 	backend    *Backend
 	api        *HandoutAPI
 	peerByHash map[netdb.Hash]int
+
+	// splitBudget, when positive, forces rowPlan to cut rows at that
+	// cost budget with a free seam — the test hook the seam-stitching
+	// tests use to prove a split row's fresh-state replay is
+	// byte-identical to the rolled-forward row. Production plans go
+	// through PlanRowsCost, whose real seam model (a full prefix
+	// replay) never finds a trust row worth cutting.
+	splitBudget int
 }
 
 // NewTrustSweep validates the grid and builds the shared backend. Engine
@@ -245,6 +253,25 @@ func (s *TrustSweep) rowSeed(d *TrustSocial, e Enumerator) uint64 {
 		math.Float64bits(e.InsiderFrac))
 }
 
+// rowPlan builds the grid's cost-aware row plan: one (distributor,
+// enumerator) row per combination, days ascending. Cells cost one unit
+// each, but a trust row's seam is the full prefix replay — resuming at
+// horizon day h re-simulates days 0..h-1 — so PlanRowsCost's seam gate
+// correctly never cuts one: the cost model records *why* trust rows
+// stay whole rather than the scheduler just not trying. The splitBudget
+// hook forces cuts anyway (seam declared free) so tests can prove the
+// replay seam is byte-exact.
+func (s *TrustSweep) rowPlan(cells []TrustCell) measure.RowPlan {
+	rows := len(s.Cfg.Enumerators) * len(s.Cfg.Distributors)
+	rowOf := func(i int) int { return i % rows }
+	key := func(i int) int { return cells[i].Day }
+	if s.splitBudget > 0 {
+		return measure.PlanRows(len(cells), rows, rowOf, key).SplitRows(nil, nil, s.splitBudget)
+	}
+	seam := func(i int) int { return cells[i].Day }
+	return measure.PlanRowsCost(len(cells), rows, rowOf, key, nil, seam, s.Cfg.Workers)
+}
+
 // Run evaluates every cell and returns results in Cells() order. Cells
 // are scheduled as rolling rows — one (distributor, enumerator) row per
 // combination, days ascending, each row sliding one trustState a day at
@@ -253,11 +280,11 @@ func (s *TrustSweep) rowSeed(d *TrustSocial, e Enumerator) uint64 {
 // the remaining rows.
 func (s *TrustSweep) Run(ctx context.Context) ([]TrustCellResult, error) {
 	cells := s.Cells()
-	rows := len(s.Cfg.Enumerators) * len(s.Cfg.Distributors)
-	plan := measure.PlanRows(len(cells), rows,
-		func(i int) int { return i % rows },
-		func(i int) int { return cells[i].Day })
-	states := make([]*trustState, rows)
+	plan := s.rowPlan(cells)
+	// One lazily-built state per plan row: a split row's later segment
+	// gets a fresh state whose advanceTo replays the prefix — the exact
+	// resumability Reference proves — so segments never share state.
+	states := make([]*trustState, len(plan))
 	results := make([]TrustCellResult, len(cells))
 	err := measure.FanRows(ctx, plan, s.Cfg.Workers, func(row, i int) error {
 		c := cells[i]
@@ -313,11 +340,21 @@ type trustState struct {
 	sybils     []uint64 // persistent sybil identities (never invited)
 
 	bannedCount      int
-	leaks            int
 	numCompromised   int
 	compromisedAlive int // compromised and not yet banned
+	leaks            int
 	day              int // last simulated horizon day, -1 before day zero
 	last             TrustCellResult
+
+	// Per-day scratch, reused across steps instead of reallocated every
+	// day (the sweep engines' remaining per-cell allocation pressure).
+	// Safe because nothing ranges over the maps — they are written then
+	// looked up by key, so reuse cannot introduce iteration-order
+	// dependence — and every user clears before filling.
+	burnedBefore map[int]bool
+	newlyBurned  map[int]bool
+	struck       []bool
+	burns        []TrustLeak
 }
 
 // newTrustState initializes a row at the eve of the distribution day.
@@ -343,6 +380,10 @@ func (s *TrustSweep) newTrustState(d *TrustSocial, e Enumerator) *trustState {
 		handout:     make([][]Resource, n),
 		cv:          newCensorView(s.Net, s.ix, s.peerByHash, s.Cfg.IntroducersPerBridge, rng),
 		day:         -1,
+
+		burnedBefore: make(map[int]bool),
+		newlyBurned:  make(map[int]bool),
+		struck:       make([]bool, n),
 	}
 	for i, u := range g.Users() {
 		st.level[i] = u.Level
@@ -424,7 +465,7 @@ func (st *trustState) step(h int) {
 	// bridges, the banning rule below — so the rate limit also caps how
 	// fast the insider can milk the ring.
 	requests := 0
-	var newBurns []TrustLeak
+	newBurns := st.burns[:0]
 	for u := range users {
 		if st.banned[u] {
 			continue
@@ -452,10 +493,12 @@ func (st *trustState) step(h int) {
 			st.attempt[u]++
 		}
 	}
+	st.burns = newBurns // keep the grown capacity for the next day
 	// Leaks burn after the request phase: the censor deploys the day's
 	// intercepts in one batch, so a leak never blocks the very request
 	// wave it was harvested from.
-	burnedBefore := make(map[int]bool, len(newBurns))
+	burnedBefore := st.burnedBefore
+	clear(burnedBefore)
 	for _, l := range newBurns {
 		for _, r := range l.Resources {
 			if st.cv.discovered[r.Peer] {
@@ -497,7 +540,8 @@ func (st *trustState) step(h int) {
 	// through its seed. Repeat offenders — direct strikes crossing
 	// BanThreshold — are banned and their invitation subtree
 	// quarantined with them.
-	newlyBurned := make(map[int]bool)
+	newlyBurned := st.newlyBurned
+	clear(newlyBurned)
 	for _, l := range newBurns {
 		for _, r := range l.Resources {
 			if !burnedBefore[r.Peer] {
@@ -506,7 +550,8 @@ func (st *trustState) step(h int) {
 		}
 	}
 	if len(newlyBurned) > 0 {
-		struck := make([]bool, len(users))
+		struck := st.struck
+		clear(struck)
 		for u := range users {
 			if st.banned[u] || st.handout[u] == nil {
 				continue

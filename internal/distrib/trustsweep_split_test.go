@@ -1,0 +1,69 @@
+package distrib
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/i2pstudy/i2pstudy/internal/measure/enginetest"
+)
+
+// TestTrustSweepSplitRowsMatchUnsplit forces the trust grid's rows into
+// segments and proves the seam: a later segment's fresh trustState
+// replays the prefix via advanceTo — exactly Reference's from-scratch
+// path — so results are byte-identical to the unsplit serial run at
+// every enginetest ladder width. Production plans never cut trust rows
+// (the seam costs the whole prefix); the hook exists precisely so this
+// equivalence is tested rather than assumed.
+func TestTrustSweepSplitRowsMatchUnsplit(t *testing.T) {
+	n := network(t)
+	ctx := context.Background()
+	ref, err := NewTrustSweep(n, testTrustConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := len(ref.Cfg.Enumerators) * len(ref.Cfg.Distributors)
+
+	runSplit := func(t testing.TB, workers int) any {
+		sw, err := NewTrustSweep(n, testTrustConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw.splitBudget = 3 // unit costs: 11-day rows cut into 3-cell segments
+		if plan := sw.rowPlan(sw.Cells()); len(plan) <= rows {
+			t.Fatalf("budget 3 left the plan unsplit (%d rows)", len(plan))
+		}
+		res, err := sw.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	enginetest.Golden(t, []enginetest.Case{{Name: "forced-split", Run: runSplit}})
+	if got := runSplit(t, 1); !reflect.DeepEqual(got, want) {
+		t.Fatal("split serial results differ from the unsplit reference")
+	}
+}
+
+// TestTrustSweepProductionPlanStaysWhole: the real cost model declares
+// a trust row's seam as expensive as its prefix, so PlanRowsCost must
+// never cut one no matter the pool width — splitting would only pay
+// the replay twice.
+func TestTrustSweepProductionPlanStaysWhole(t *testing.T) {
+	n := network(t)
+	for _, workers := range []int{1, 4, 0} {
+		sw, err := NewTrustSweep(n, testTrustConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := len(sw.Cfg.Enumerators) * len(sw.Cfg.Distributors)
+		if plan := sw.rowPlan(sw.Cells()); len(plan) != rows {
+			t.Fatalf("workers=%d: production plan has %d rows, want %d unsplit",
+				workers, len(plan), rows)
+		}
+	}
+}

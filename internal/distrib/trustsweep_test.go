@@ -286,6 +286,7 @@ func benchmarkTrustSweep(b *testing.B, workers int) {
 		SeedBase:     2018,
 		Workers:      workers,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sw, err := NewTrustSweep(n, cfg)

@@ -209,6 +209,7 @@ func benchmarkCampaign(b *testing.B, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c, err := NewCampaign(n, CampaignConfig{

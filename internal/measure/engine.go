@@ -34,13 +34,67 @@ func mergeShards(workers int) int {
 	return workers
 }
 
+// runQueue is one worker's contiguous run of task indices, claimable
+// from both ends through a single packed atomic word (hi<<32 | lo; the
+// run is [lo, hi)). The owner claims from the front, keeping ascending
+// index order; idle workers steal from the back. Because both ends CAS
+// the same word, front and back claims are linearizable — the two ends
+// can never hand out the same task, even when they meet. The padding
+// keeps neighboring queues off one cache line, so an owner's claims
+// don't false-share with its neighbors'.
+type runQueue struct {
+	bounds atomic.Uint64
+	_      [7]uint64
+}
+
+func packBounds(lo, hi uint32) uint64 { return uint64(hi)<<32 | uint64(lo) }
+
+// popFront claims the run's lowest unclaimed index (owner side).
+func (q *runQueue) popFront() (int, bool) {
+	for {
+		b := q.bounds.Load()
+		lo, hi := uint32(b), uint32(b>>32)
+		if lo >= hi {
+			return 0, false
+		}
+		if q.bounds.CompareAndSwap(b, packBounds(lo+1, hi)) {
+			return int(lo), true
+		}
+	}
+}
+
+// popBack claims the run's highest unclaimed index (thief side).
+func (q *runQueue) popBack() (int, bool) {
+	for {
+		b := q.bounds.Load()
+		lo, hi := uint32(b), uint32(b>>32)
+		if lo >= hi {
+			return 0, false
+		}
+		if q.bounds.CompareAndSwap(b, packBounds(lo, hi-1)) {
+			return int(hi - 1), true
+		}
+	}
+}
+
 // FanOut runs fn(i) for every i in [0, n) across a pool of workers,
-// stopping at the first error or context cancellation. Tasks are handed
-// out in index order, so low-indexed work starts first; workers <= 0
+// stopping at the first error or context cancellation; workers <= 0
 // selects one worker per CPU. FanOut is the engine primitive shared by
 // ObserveGrid, the campaign capture stage, the experiment runner, and the
 // censor sweep grids: callers obtain worker-count-independent results by
 // writing into caller-owned slots indexed by task, never by arrival order.
+//
+// Scheduling is work-stealing: the index space is pre-split into one
+// contiguous run per worker, each worker drains its own run front-to-back
+// (so low-indexed work starts first within every run), and a worker whose
+// run is empty steals from the back of the first victim — scanning in
+// worker-index order — with work left. Unlike the historical pre-filled
+// channel, an uneven grid (one long row next to many short ones) no
+// longer strands idle workers behind a FIFO hand-out; the stolen back
+// halves even the load out. The contract is unchanged: any Workers value
+// yields byte-identical results, because scheduling decides only *when* a
+// task runs, never where its result lands. Task counts must fit in
+// int32, which every grid in the repo is orders of magnitude below.
 func FanOut(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -49,11 +103,32 @@ func FanOut(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
-	tasks := make(chan int, n)
-	for i := 0; i < n; i++ {
-		tasks <- i
+	if workers == 1 {
+		// Serial fast path: no goroutines, no atomics. This is also the
+		// reference path the determinism goldens compare against.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return ctx.Err()
 	}
-	close(tasks)
+
+	// One contiguous run per worker; the remainder spreads over the first
+	// runs so sizes differ by at most one.
+	queues := make([]runQueue, workers)
+	base, rem := n/workers, n%workers
+	for w, lo := 0, 0; w < workers; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		queues[w].bounds.Store(packBounds(uint32(lo), uint32(lo+size)))
+		lo += size
+	}
 
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -68,18 +143,37 @@ func FanOut(ctx context.Context, n, workers int, fn func(i int) error) error {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range tasks {
+			for {
 				if cctx.Err() != nil {
 					return
 				}
-				if err := fn(i); err != nil {
+				t, ok := queues[w].popFront()
+				if !ok {
+					// Own run drained: steal. Tasks only ever leave
+					// queues by being claimed, so a full scan that finds
+					// every queue empty means every task is claimed and
+					// this worker can exit (claimants finish their own
+					// tasks; wg.Wait below holds the door).
+					for v := range queues {
+						if v == w {
+							continue
+						}
+						if t, ok = queues[v].popBack(); ok {
+							break
+						}
+					}
+					if !ok {
+						return
+					}
+				}
+				if err := fn(t); err != nil {
 					fail(err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -123,14 +217,107 @@ func PlanRows(n, rows int, rowOf, key func(i int) int) RowPlan {
 	return plan
 }
 
+// costOf evaluates a cost estimate for one task: nil means unit cost,
+// and estimates are clamped to at least 1 so degenerate models cannot
+// produce zero-cost segments.
+func costOf(cost func(i int) int, t int) int {
+	if cost == nil {
+		return 1
+	}
+	if c := cost(t); c > 1 {
+		return c
+	}
+	return 1
+}
+
+// Cost returns the plan's total estimated cost under the given model
+// (nil: one unit per task).
+func (p RowPlan) Cost(cost func(i int) int) int {
+	total := 0
+	for _, row := range p {
+		for _, t := range row {
+			total += costOf(cost, t)
+		}
+	}
+	return total
+}
+
+// SplitRows cuts expensive rows into independent contiguous segments at
+// cost boundaries, so one long row stops binding a grid's tail latency:
+// each segment becomes its own plan row, fanned out (and stolen) like
+// any other. cost(i) estimates task i's work (nil: 1 per task). seam(i)
+// estimates the extra work a segment pays to rebuild its rolling state
+// from scratch when it starts at task i (nil: free) — the sweep engines'
+// states are exactly resumable (a fresh state advanced to a task equals
+// the rolled-forward one, the property TestTrustSweepResumesAcrossRows
+// and the from-scratch blacklist references prove), so a cut changes
+// wall-clock and recompute, never bytes.
+//
+// The greedy walk accumulates cost along each row and cuts where the
+// running segment exceeds budget — but only where the seam is worth
+// paying: a cut at task t requires seam(t) <= budget/2 (the rebuilt
+// state may eat at most half the new segment) and seam(t)+cost(t) <=
+// budget (the new segment must fit at all). Rows whose seams are as
+// expensive as their prefixes — the trust rows, where resuming replays
+// every prior day — therefore never split, falling back to whole-row
+// scheduling; cheap-seam rows (a blacklist window rebuild) split freely.
+// budget <= 0 returns the plan unchanged.
+func (p RowPlan) SplitRows(cost, seam func(i int) int, budget int) RowPlan {
+	if budget <= 0 {
+		return p
+	}
+	out := make(RowPlan, 0, len(p))
+	for _, row := range p {
+		start, acc := 0, 0
+		for k, t := range row {
+			c := costOf(cost, t)
+			if acc+c > budget && k > start {
+				sm := 0
+				if seam != nil {
+					sm = seam(t)
+				}
+				if sm <= budget/2 && sm+c <= budget {
+					out = append(out, row[start:k:k])
+					start, acc = k, sm
+				}
+			}
+			acc += c
+		}
+		out = append(out, row[start:])
+	}
+	return out
+}
+
+// splitOversub is how many cost-budget segments PlanRowsCost aims to
+// hand each worker: 2 keeps the per-segment seam overhead bounded while
+// still leaving the steal loop slack to even out estimate error.
+const splitOversub = 2
+
+// PlanRowsCost is PlanRows with a cost model: rows are built and
+// day-sorted identically, then rows whose estimated cost exceeds the
+// per-segment budget — the grid's total cost spread over the worker pool
+// with a small oversubscription factor — are cut into independent
+// segments via SplitRows. The schedule changes; results (task-indexed
+// slots, exactly-resumable row state) do not. With one worker the plan
+// is returned unsplit: there is nobody to hand the other half to.
+func PlanRowsCost(n, rows int, rowOf, key func(i int) int, cost, seam func(i int) int, workers int) RowPlan {
+	plan := PlanRows(n, rows, rowOf, key)
+	workers = resolveWorkers(workers)
+	if workers <= 1 {
+		return plan
+	}
+	budget := (plan.Cost(cost) + workers*splitOversub - 1) / (workers * splitOversub)
+	return plan.SplitRows(cost, seam, budget)
+}
+
 // FanRows runs fn(row, task) for every task of every row across the
-// worker pool: rows are handed out in index order and each row's tasks
-// run sequentially in listed order on a single worker, so per-row state
-// needs no locking. The determinism contract is FanOut's — callers
-// write results into caller-owned slots indexed by task, never by
-// arrival order, and any workers value yields byte-identical output.
-// The first error (or context cancellation) stops the remaining rows;
-// rows in flight stop after their current task.
+// worker pool: rows fan out like FanOut tasks (contiguous runs with
+// back-stealing) and each row's tasks run sequentially in listed order
+// on a single worker, so per-row state needs no locking. The determinism
+// contract is FanOut's — callers write results into caller-owned slots
+// indexed by task, never by arrival order, and any workers value yields
+// byte-identical output. The first error (or context cancellation) stops
+// the remaining rows; rows in flight stop after their current task.
 func FanRows(ctx context.Context, plan RowPlan, workers int, fn func(row, task int) error) error {
 	var failed atomic.Bool
 	return FanOut(ctx, len(plan), workers, func(r int) error {

@@ -1,0 +1,275 @@
+package measure
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFanOutRunsEachTaskOnce: the work-stealing scheduler hands every
+// index out exactly once, at any pool shape — including more workers
+// than tasks, a single worker (the serial fast path), and the empty
+// grid.
+func TestFanOutRunsEachTaskOnce(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 1}, {1, 8}, {7, 1}, {7, 2}, {7, 7}, {7, 32},
+		{100, 3}, {1000, 8}, {1000, 0},
+	} {
+		counts := make([]int32, tc.n)
+		err := FanOut(context.Background(), tc.n, tc.workers, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d workers=%d: %v", tc.n, tc.workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d workers=%d: task %d ran %d times", tc.n, tc.workers, i, c)
+			}
+		}
+	}
+}
+
+// TestFanOutStealsUnevenLoad: with every task but one held on a gate,
+// the free workers must steal their way through the rest of the index
+// space — if stealing were broken, the slow run's owner would be the
+// only worker able to finish its tasks and the gated waiter would
+// starve the pool.
+func TestFanOutStealsUnevenLoad(t *testing.T) {
+	const n, workers = 64, 4
+	gate := make(chan struct{})
+	var done int32
+	err := FanOut(context.Background(), n, workers, func(i int) error {
+		if i == 0 {
+			// Task 0 (worker 0's first claim) blocks until every other
+			// task has finished — which can only happen if the other
+			// workers drain worker 0's remaining run by stealing.
+			<-gate
+			return nil
+		}
+		if atomic.AddInt32(&done, 1) == n-1 {
+			close(gate)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFanOutStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	// Serial fast path: the error stops the walk immediately, so exactly
+	// tasks 0..3 run.
+	var ran int32
+	err := FanOut(context.Background(), 1000, 1, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("serial err = %v, want boom", err)
+	}
+	if n := atomic.LoadInt32(&ran); n != 4 {
+		t.Fatalf("serial ran %d tasks, want 4", n)
+	}
+	// Pooled path: the first error is the one reported, even when every
+	// worker fails.
+	err = FanOut(context.Background(), 100, 4, func(i int) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("pooled err = %v, want boom", err)
+	}
+}
+
+func TestFanOutCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		err := FanOut(ctx, 8, workers, func(i int) error {
+			return fmt.Errorf("task %d ran under a cancelled context", i)
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestSplitRowsCutsAtCostBoundaries: a long uniform row splits into
+// budget-sized segments whose concatenation is the original row, and
+// cheap rows stay whole.
+func TestSplitRowsCutsAtCostBoundaries(t *testing.T) {
+	long := make([]int, 12)
+	for i := range long {
+		long[i] = i
+	}
+	plan := RowPlan{long, {12, 13}}
+	got := plan.SplitRows(nil, nil, 4) // unit cost, free seam
+	want := RowPlan{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}, {12, 13}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("split = %v, want %v", got, want)
+	}
+	if got.Tasks() != plan.Tasks() {
+		t.Fatalf("split lost tasks: %d != %d", got.Tasks(), plan.Tasks())
+	}
+}
+
+// TestSplitRowsSeamGate: a seam as expensive as the prefix it would
+// skip (the trust rows' full-replay seam) blocks the cut; a cheap seam
+// admits it at the same budget.
+func TestSplitRowsSeamGate(t *testing.T) {
+	row := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	plan := RowPlan{row}
+	// Full-replay seam: resuming at task t costs t — always > budget/2
+	// once the walk wants to cut, so the row must stay whole.
+	replay := func(i int) int { return i }
+	if got := plan.SplitRows(nil, replay, 3); len(got) != 1 {
+		t.Fatalf("full-replay seam split anyway: %v", got)
+	}
+	// A unit seam is within every gate: the row splits, and each later
+	// segment's budget accounts for the seam unit (3-cost budget leaves
+	// 2 tasks after a 1-cost seam).
+	cheap := func(i int) int { return 1 }
+	got := plan.SplitRows(nil, cheap, 3)
+	want := RowPlan{{0, 1, 2}, {3, 4}, {5, 6}, {7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cheap seam split = %v, want %v", got, want)
+	}
+}
+
+// TestSplitRowsDegenerateModels: non-positive budgets are a no-op, and
+// zero/negative cost estimates clamp to one unit instead of producing
+// unbounded segments.
+func TestSplitRowsDegenerateModels(t *testing.T) {
+	plan := RowPlan{{0, 1, 2, 3}}
+	if got := plan.SplitRows(nil, nil, 0); !reflect.DeepEqual(got, plan) {
+		t.Fatalf("budget 0 changed the plan: %v", got)
+	}
+	if got := plan.SplitRows(nil, nil, -5); !reflect.DeepEqual(got, plan) {
+		t.Fatalf("negative budget changed the plan: %v", got)
+	}
+	zero := func(i int) int { return 0 }
+	got := plan.SplitRows(zero, nil, 2) // clamped to unit cost
+	want := RowPlan{{0, 1}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("zero-cost model split = %v, want %v", got, want)
+	}
+}
+
+// TestPlanRowsCostSplitsForPools: with one worker the plan comes back
+// unsplit (nobody to hand segments to); with a pool, the dominant row
+// splits under the derived budget and no task is lost or reordered.
+func TestPlanRowsCostSplitsForPools(t *testing.T) {
+	// 2 rows x 16 days, row 0 carrying 10x the cost per cell.
+	n, rows := 32, 2
+	rowOf := func(i int) int { return i % rows }
+	key := func(i int) int { return i / rows }
+	cost := func(i int) int {
+		if i%rows == 0 {
+			return 10
+		}
+		return 1
+	}
+	unsplit := PlanRowsCost(n, rows, rowOf, key, cost, nil, 1)
+	if len(unsplit) != rows {
+		t.Fatalf("workers=1 split anyway: %d rows", len(unsplit))
+	}
+	split := PlanRowsCost(n, rows, rowOf, key, cost, nil, 4)
+	if len(split) <= rows {
+		t.Fatalf("workers=4 did not split the dominant row: %d rows", len(split))
+	}
+	if split.Tasks() != n {
+		t.Fatalf("split lost tasks: %d != %d", split.Tasks(), n)
+	}
+	// Segment concatenation preserves each original row exactly.
+	concat := make(map[int][]int)
+	for _, seg := range split {
+		r := rowOf(seg[0])
+		concat[r] = append(concat[r], seg...)
+	}
+	for r, row := range PlanRows(n, rows, rowOf, key) {
+		if !reflect.DeepEqual(concat[r], []int(row)) {
+			t.Fatalf("row %d reassembles to %v, want %v", r, concat[r], row)
+		}
+	}
+	// The derived budget respects total cost: no segment exceeds it.
+	budget := (unsplit.Cost(cost) + 4*splitOversub - 1) / (4 * splitOversub)
+	for _, seg := range split {
+		if c := (RowPlan{seg}).Cost(cost); c > budget {
+			t.Fatalf("segment %v cost %d exceeds budget %d", seg, c, budget)
+		}
+	}
+}
+
+// TestFanRowsSplitPlanDeterminism: running the same rolling fold over a
+// split plan — each segment rebuilding its state from the row prefix,
+// the seam-stitching model — matches the unsplit serial reference at
+// every ladder width.
+func TestFanRowsSplitPlanDeterminism(t *testing.T) {
+	n, rows := 48, 3
+	rowOf := func(i int) int { return i % rows }
+	key := func(i int) int { return i / rows }
+	base := PlanRows(n, rows, rowOf, key)
+	run := func(plan RowPlan, workers int) []int {
+		out := make([]int, n)
+		// Rolling state: prefix sum along the row. A segment that does
+		// not start the row stitches by replaying the prefix — the exact
+		// from-scratch reference the sweep engines use at seams.
+		states := make([]int, len(plan))
+		inited := make([]bool, len(plan))
+		if err := FanRows(context.Background(), plan, workers, func(row, task int) error {
+			if !inited[row] {
+				inited[row] = true
+				for _, t2 := range base[rowOf(task)] {
+					if key(t2) >= key(task) {
+						break
+					}
+					states[row] += t2
+				}
+			}
+			states[row] += task
+			out[task] = states[row]
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(base, 1)
+	split := base.SplitRows(nil, nil, 5)
+	if len(split) <= len(base) {
+		t.Fatalf("budget 5 did not split: %d rows", len(split))
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		if got := run(split, workers); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("split plan at workers=%d diverged from unsplit serial", workers)
+		}
+	}
+}
+
+// TestFanOutSerialFastPathOrder: workers=1 must run tasks in ascending
+// index order on the caller's goroutine — it is the determinism
+// goldens' reference path.
+func TestFanOutSerialFastPathOrder(t *testing.T) {
+	var order []int
+	var mu sync.Mutex
+	if err := FanOut(context.Background(), 8, 1, func(i int) error {
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 2, 3, 4, 5, 6, 7}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("serial order = %v, want %v", order, want)
+	}
+}

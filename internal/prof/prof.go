@@ -1,0 +1,61 @@
+// Package prof plumbs runtime/pprof behind the -cpuprofile and
+// -memprofile flags the command-line tools share, so scheduler and
+// allocation work on the engines is profileable without editing code:
+//
+//	i2pcensor -cpuprofile cpu.out -memprofile mem.out -experiment figure-13
+//	go tool pprof cpu.out
+//
+// The package is a thin lifecycle wrapper — profiling policy (sample
+// rates, label sets) stays with the runtime defaults the pprof tooling
+// expects.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges a heap profile
+// at memPath; either path may be empty to skip that profile. The
+// returned stop function finishes the CPU profile and writes the heap
+// snapshot — call it once, on the way out (note that os.Exit and
+// log.Fatal skip deferred stops, so a run that dies early loses its
+// profiles, matching `go test -cpuprofile` behavior).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			// A GC beforehand folds unreachable garbage out of the
+			// snapshot, so the profile shows live allocation, not
+			// collection timing.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

@@ -87,6 +87,7 @@ func benchRequest(b *testing.B, h http.Handler, id string) {
 func BenchmarkServiceHandoutSerial(b *testing.B) {
 	svc := newTestService(b, Config{})
 	h := svc.Handler()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchRequest(b, h, "bench-"+strconv.Itoa(i))
@@ -99,6 +100,7 @@ func BenchmarkServiceHandoutParallel(b *testing.B) {
 	svc := newTestService(b, Config{})
 	h := svc.Handler()
 	var ctr atomic.Int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {

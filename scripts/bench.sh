@@ -29,8 +29,11 @@
 # Refresh procedure for the committed baselines: run this script from
 # the repo root on an idle machine (BENCHTIME=3x default; raise it for
 # steadier numbers), eyeball the speedups, and commit the regenerated
-# BENCH_*.json next to the code change that moved them. CI re-runs the
-# script on every push and warns — never fails — via
+# BENCH_*.json next to the code change that moved them. For multicore
+# baselines pin the pool explicitly — GOMAXPROCS=4 ./scripts/bench.sh —
+# so the recorded "cores" field names the width the numbers were taken
+# at; bench_compare.sh only ever compares files with matching cores.
+# CI re-runs the script on every push and warns — never fails — via
 # scripts/bench_compare.sh when a fresh number regresses against the
 # committed baseline, so the baselines are a trajectory, not a gate.
 #
@@ -50,33 +53,47 @@ trust_out="${5:-BENCH_trust.json}"
 service_out="${6:-BENCH_service.json}"
 benchtime="${BENCHTIME:-3x}"
 
-cores="$(go env GOMAXPROCS 2>/dev/null || echo 0)"
-[ "$cores" -gt 0 ] 2>/dev/null || cores="$(getconf _NPROCESSORS_ONLN)"
+# The recorded core count is what the benchmarks actually ran on: a
+# GOMAXPROCS pin (how CI distinguishes its 1-core and 4-core smoke
+# jobs) wins over the machine's online-CPU count.
+cores="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
 
 # bench_ns RAW NAME — extract ns/op for one benchmark from go test output.
 bench_ns() {
   echo "$1" | awk -v n="$2" '$1 ~ "^"n {print $3}'
 }
 
+# bench_allocs RAW NAME — extract allocs/op (the -benchmem column) for
+# one benchmark from go test output.
+bench_allocs() {
+  echo "$1" | awk -v n="$2" '$1 ~ "^"n {print $7}'
+}
+
 # run_pair PKG REGEX SERIAL_NAME PARALLEL_NAME LABEL OUT
 run_pair() {
   local pkg="$1" regex="$2" serial_name="$3" parallel_name="$4" label="$5" out="$6"
-  local raw serial parallel
-  raw="$(go test "$pkg" -run '^$' -bench "$regex" -benchtime="$benchtime")"
+  local raw serial parallel serial_allocs parallel_allocs
+  raw="$(go test "$pkg" -run '^$' -bench "$regex" -benchtime="$benchtime" -benchmem)"
   echo "$raw"
 
   serial="$(bench_ns "$raw" "$serial_name")"
   parallel="$(bench_ns "$raw" "$parallel_name")"
-  if [ -z "$serial" ] || [ -z "$parallel" ]; then
+  serial_allocs="$(bench_allocs "$raw" "$serial_name")"
+  parallel_allocs="$(bench_allocs "$raw" "$parallel_name")"
+  if [ -z "$serial" ] || [ -z "$parallel" ] || [ -z "$serial_allocs" ] || [ -z "$parallel_allocs" ]; then
     echo "bench.sh: failed to parse $label benchmark output" >&2
     exit 1
   fi
 
-  awk -v serial="$serial" -v parallel="$parallel" -v cores="$cores" -v label="$label" 'BEGIN {
+  awk -v serial="$serial" -v parallel="$parallel" \
+    -v sa="$serial_allocs" -v pa="$parallel_allocs" \
+    -v cores="$cores" -v label="$label" 'BEGIN {
     printf "{\n"
     printf "  \"benchmark\": \"%s\",\n", label
     printf "  \"serial_ns_per_op\": %d,\n", serial
     printf "  \"parallel_ns_per_op\": %d,\n", parallel
+    printf "  \"serial_allocs_per_op\": %d,\n", sa
+    printf "  \"parallel_allocs_per_op\": %d,\n", pa
     printf "  \"speedup\": %.3f,\n", serial / parallel
     printf "  \"cores\": %d\n", cores
     printf "}\n"
@@ -90,26 +107,32 @@ run_pair() {
 # plus the pre-rolling from-scratch serial reference on the same grid.
 run_rolling() {
   local out="$1"
-  local raw rolling_serial rolling_parallel scratch_serial
+  local raw rolling_serial rolling_parallel scratch_serial rs_allocs rp_allocs
   raw="$(go test ./internal/censor/ -run '^$' \
     -bench 'BenchmarkSweep(Rolling(Serial|Parallel)|FromScratchSerial)$' \
-    -benchtime="$benchtime")"
+    -benchtime="$benchtime" -benchmem)"
   echo "$raw"
 
   rolling_serial="$(bench_ns "$raw" BenchmarkSweepRollingSerial)"
   rolling_parallel="$(bench_ns "$raw" BenchmarkSweepRollingParallel)"
   scratch_serial="$(bench_ns "$raw" BenchmarkSweepFromScratchSerial)"
-  if [ -z "$rolling_serial" ] || [ -z "$rolling_parallel" ] || [ -z "$scratch_serial" ]; then
+  rs_allocs="$(bench_allocs "$raw" BenchmarkSweepRollingSerial)"
+  rp_allocs="$(bench_allocs "$raw" BenchmarkSweepRollingParallel)"
+  if [ -z "$rolling_serial" ] || [ -z "$rolling_parallel" ] || [ -z "$scratch_serial" ] ||
+    [ -z "$rs_allocs" ] || [ -z "$rp_allocs" ]; then
     echo "bench.sh: failed to parse rolling benchmark output" >&2
     exit 1
   fi
 
-  awk -v rs="$rolling_serial" -v rp="$rolling_parallel" -v ss="$scratch_serial" -v cores="$cores" 'BEGIN {
+  awk -v rs="$rolling_serial" -v rp="$rolling_parallel" -v ss="$scratch_serial" \
+    -v rsa="$rs_allocs" -v rpa="$rp_allocs" -v cores="$cores" 'BEGIN {
     printf "{\n"
     printf "  \"benchmark\": \"rolling-sweep-engine\",\n"
     printf "  \"serial_ns_per_op\": %d,\n", rs
     printf "  \"parallel_ns_per_op\": %d,\n", rp
     printf "  \"scratch_serial_ns_per_op\": %d,\n", ss
+    printf "  \"serial_allocs_per_op\": %d,\n", rsa
+    printf "  \"parallel_allocs_per_op\": %d,\n", rpa
     printf "  \"speedup_vs_scratch\": %.3f,\n", ss / rs
     printf "  \"speedup\": %.3f,\n", rs / rp
     printf "  \"cores\": %d\n", cores
@@ -125,14 +148,16 @@ run_rolling() {
 # (the ISSUE acceptance run) for requests/sec and p99 latency.
 run_service() {
   local out="$1"
-  local raw serial parallel loadjson rps p99
+  local raw serial parallel serial_allocs parallel_allocs loadjson rps p99
   raw="$(go test ./internal/service/ -run '^$' \
-    -bench 'BenchmarkServiceHandout(Serial|Parallel)$' -benchtime="$benchtime")"
+    -bench 'BenchmarkServiceHandout(Serial|Parallel)$' -benchtime="$benchtime" -benchmem)"
   echo "$raw"
 
   serial="$(bench_ns "$raw" BenchmarkServiceHandoutSerial)"
   parallel="$(bench_ns "$raw" BenchmarkServiceHandoutParallel)"
-  if [ -z "$serial" ] || [ -z "$parallel" ]; then
+  serial_allocs="$(bench_allocs "$raw" BenchmarkServiceHandoutSerial)"
+  parallel_allocs="$(bench_allocs "$raw" BenchmarkServiceHandoutParallel)"
+  if [ -z "$serial" ] || [ -z "$parallel" ] || [ -z "$serial_allocs" ] || [ -z "$parallel_allocs" ]; then
     echo "bench.sh: failed to parse service benchmark output" >&2
     exit 1
   fi
@@ -147,11 +172,15 @@ run_service() {
     exit 1
   fi
 
-  awk -v serial="$serial" -v parallel="$parallel" -v rps="$rps" -v p99="$p99" -v cores="$cores" 'BEGIN {
+  awk -v serial="$serial" -v parallel="$parallel" \
+    -v sa="$serial_allocs" -v pa="$parallel_allocs" \
+    -v rps="$rps" -v p99="$p99" -v cores="$cores" 'BEGIN {
     printf "{\n"
     printf "  \"benchmark\": \"distributor-service\",\n"
     printf "  \"serial_ns_per_op\": %d,\n", serial
     printf "  \"parallel_ns_per_op\": %d,\n", parallel
+    printf "  \"serial_allocs_per_op\": %d,\n", sa
+    printf "  \"parallel_allocs_per_op\": %d,\n", pa
     printf "  \"speedup\": %.3f,\n", serial / parallel
     printf "  \"requests_per_sec\": %.1f,\n", rps
     printf "  \"p99_latency_ns\": %d,\n", p99

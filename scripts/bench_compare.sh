@@ -5,25 +5,29 @@
 #
 #   ./scripts/bench_compare.sh BASELINE_DIR FRESH_DIR [THRESHOLD_PCT]
 #
-# Compares every *_ns_per_op field (plus the service's p99_latency_ns)
-# of each BENCH_*.json present in both directories and prints a WARN
-# line when the fresh value is slower than the baseline by more than
-# THRESHOLD_PCT (default 25%). When the two files record different
-# "cores" counts the comparison is flagged as cross-hardware. Always exits 0:
-# ns/op is hardware-relative and CI runners are noisy, so the committed
-# baselines are a perf trajectory to eyeball, not a gate. Refresh them
-# with scripts/bench.sh (see its header) when a PR legitimately moves
-# the numbers.
+# Compares every *_ns_per_op and *_allocs_per_op field (plus the
+# service's p99_latency_ns) of each BENCH_*.json present in both
+# directories and prints a WARN line when the fresh value is worse than
+# the baseline by more than THRESHOLD_PCT (default 25%). Comparisons are
+# strictly like-for-like on the "cores" field: when baseline and fresh
+# were taken at different core counts the file is SKIPped outright —
+# per-op numbers and speedups from different pool widths measure
+# different things, and a cross-hardware delta would only mislead.
+# Always exits 0: ns/op is hardware-relative and CI runners are noisy,
+# so the committed baselines are a perf trajectory to eyeball, not a
+# gate. Refresh them with scripts/bench.sh (see its header) when a PR
+# legitimately moves the numbers.
 set -uo pipefail
 
 base="${1:?usage: bench_compare.sh BASELINE_DIR FRESH_DIR [THRESHOLD_PCT]}"
 fresh="${2:?usage: bench_compare.sh BASELINE_DIR FRESH_DIR [THRESHOLD_PCT]}"
 thr="${3:-25}"
 
-# fields FILE — emit "key value" for every latency field: *_ns_per_op
-# plus the service's p99_latency_ns.
+# fields FILE — emit "key value" for every compared field: *_ns_per_op,
+# *_allocs_per_op, plus the service's p99_latency_ns.
 fields() {
   sed -n -e 's/.*"\([a-z_]*ns_per_op\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
+    -e 's/.*"\([a-z_]*allocs_per_op\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
     -e 's/.*"\(p99_latency_ns\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' "$1"
 }
 
@@ -45,12 +49,14 @@ for bf in "$base"/BENCH_*.json; do
     continue
   fi
   # Different core counts mean the per-op numbers (and especially the
-  # speedups) were taken on different hardware — flag the comparison as
-  # cross-machine so the deltas are read accordingly.
+  # speedups) were taken against different pool widths — a delta between
+  # them is noise, not signal, so the file is skipped entirely rather
+  # than compared and hedged.
   bcores="$(cores_of "$bf")"
   fcores="$(cores_of "$ff")"
   if [ -n "$bcores" ] && [ -n "$fcores" ] && [ "$bcores" != "$fcores" ]; then
-    echo "note: $name: cores differ (baseline $bcores, fresh $fcores); deltas are cross-hardware"
+    echo "SKIP: $name: cores differ (baseline $bcores, fresh $fcores); per-op numbers are only comparable like-for-like on cores"
+    continue
   fi
   while read -r key bval; do
     fval="$(fields "$ff" | awk -v k="$key" '$1 == k {print $2; exit}')"
@@ -61,12 +67,12 @@ for bf in "$base"/BENCH_*.json; do
     fi
     if awk -v b="$bval" -v f="$fval" -v t="$thr" 'BEGIN { exit !(f > b * (1 + t/100)) }'; then
       awk -v b="$bval" -v f="$fval" -v n="$name" -v k="$key" 'BEGIN {
-        printf "WARN: %s %s regressed: baseline %d ns/op, fresh %d ns/op (+%.1f%%)\n", n, k, b, f, (f/b - 1) * 100
+        printf "WARN: %s %s regressed: baseline %d, fresh %d (+%.1f%%)\n", n, k, b, f, (f/b - 1) * 100
       }'
       warned=1
     else
       awk -v b="$bval" -v f="$fval" -v n="$name" -v k="$key" 'BEGIN {
-        printf "ok:   %s %s: baseline %d ns/op, fresh %d ns/op (%+.1f%%)\n", n, k, b, f, (f/b - 1) * 100
+        printf "ok:   %s %s: baseline %d, fresh %d (%+.1f%%)\n", n, k, b, f, (f/b - 1) * 100
       }'
     fi
   done < <(fields "$bf")
