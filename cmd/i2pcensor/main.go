@@ -11,6 +11,7 @@
 //
 //	i2pcensor [-scale 0.1] [-seed 2018] [-experiment figure-13]
 //	i2pcensor -cpuprofile cpu.out -memprofile mem.out -experiment figure-13
+//	i2pcensor -trace trace.json -experiment figure-13   # Perfetto-loadable spans
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"syscall"
 
 	"github.com/i2pstudy/i2pstudy/internal/core"
+	"github.com/i2pstudy/i2pstudy/internal/obs"
 	"github.com/i2pstudy/i2pstudy/internal/prof"
 )
 
@@ -39,14 +41,32 @@ func main() {
 	experiment := flag.String("experiment", "", "run a single experiment by ID")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a blocking-contention profile to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file of engine spans (open in Perfetto)")
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := prof.StartOptions(prof.Options{
+		CPUProfile:   *cpuprofile,
+		MemProfile:   *memprofile,
+		BlockProfile: *blockprofile,
+		MutexProfile: *mutexprofile,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
+
+	closeTrace, err := obs.TraceToFile(*traceFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
 			log.Print(err)
 		}
 	}()

@@ -16,11 +16,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"github.com/i2pstudy/i2pstudy/internal/censor"
+	"github.com/i2pstudy/i2pstudy/internal/obs"
 	"github.com/i2pstudy/i2pstudy/internal/service"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 )
@@ -57,6 +60,7 @@ func main() {
 	failLimit := flag.Int("fail-limit", 3, "consecutive probe failures before a bridge retires")
 	loadgen := flag.Int("loadgen", 0, "run an in-process load generation with this many distinct identities, print JSON and exit")
 	loadWorkers := flag.Int("loadgen-workers", 0, "loadgen concurrency (0 = one per CPU)")
+	debugAddr := flag.String("debug-addr", "", "optional debug listener (host:port) serving net/http/pprof and expvar; keep it off public interfaces")
 	flag.Parse()
 
 	strat, ok := strategies[*strategy]
@@ -66,6 +70,12 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Enable counting before the network and pool are built so even the
+	// construction-time engine work (observer memos, pool draws) lands on
+	// the registry /metrics serves.
+	reg := obs.NewRegistry()
+	obs.Enable(reg)
 
 	network, err := sim.New(sim.Config{
 		Seed:             *seed,
@@ -84,6 +94,7 @@ func main() {
 		Burst:         *burst,
 		ProbeInterval: *probeInterval,
 		FailLimit:     *failLimit,
+		Registry:      reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -114,6 +125,21 @@ func main() {
 	// The smoke job greps this exact line to learn the bound port.
 	fmt.Printf("listening on %s\n", ln.Addr())
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("debug listening on %s\n", dln.Addr())
+		debugSrv = &http.Server{Handler: debugMux()}
+		go func() {
+			if err := debugSrv.Serve(dln); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
+
 	srv := &http.Server{Handler: svc.Handler()}
 	proberDone := make(chan struct{})
 	go func() {
@@ -130,6 +156,9 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Fatal(err)
 		}
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shutdownCtx)
+		}
 		<-proberDone
 		log.Print("shut down cleanly")
 	case err := <-serveErr:
@@ -137,6 +166,21 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// debugMux is the opt-in -debug-addr surface: the standard pprof index
+// (heap, goroutine, block, mutex, 30s CPU captures) plus expvar. Built
+// by hand instead of importing the packages for their DefaultServeMux
+// side effects, so the main listener never exposes profiling routes.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }
 
 func strategyNames() []string {

@@ -7,6 +7,7 @@
 //	i2pmeasure -list
 //	i2pmeasure [-scale 0.1] [-seed 2018] [-workers 0] [-experiment figure-05] [-snapshot-dir DIR]
 //	i2pmeasure -cpuprofile cpu.out -memprofile mem.out -experiment figure-05
+//	i2pmeasure -trace trace.json -experiment figure-05   # Perfetto-loadable spans
 //
 // Without -experiment, every measurement experiment runs in order.
 // Experiments and the campaign engine fan out across -workers goroutines
@@ -31,6 +32,7 @@ import (
 
 	"github.com/i2pstudy/i2pstudy/internal/core"
 	"github.com/i2pstudy/i2pstudy/internal/measure"
+	"github.com/i2pstudy/i2pstudy/internal/obs"
 	"github.com/i2pstudy/i2pstudy/internal/prof"
 )
 
@@ -56,6 +58,9 @@ func main() {
 	csvDir := flag.String("csv-dir", "", "write each figure's data series as CSV under this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a blocking-contention profile to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file of engine spans (open in Perfetto)")
 	flag.Parse()
 
 	if *list {
@@ -65,12 +70,27 @@ func main() {
 		return
 	}
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := prof.StartOptions(prof.Options{
+		CPUProfile:   *cpuprofile,
+		MemProfile:   *memprofile,
+		BlockProfile: *blockprofile,
+		MutexProfile: *mutexprofile,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
+
+	closeTrace, err := obs.TraceToFile(*traceFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
 			log.Print(err)
 		}
 	}()

@@ -6,7 +6,12 @@
 // never change a result, only its cost.
 package cache
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/i2pstudy/i2pstudy/internal/obs"
+)
 
 // DefaultDayMemoCap bounds a DayMemo whose Cap field is zero: a full
 // 90-day study stays resident, while long-lived owners revisiting
@@ -25,34 +30,113 @@ type DayMemo[T any] struct {
 	// Cap bounds how many days stay resident (<= 0: DefaultDayMemoCap).
 	Cap int
 
+	// Ring names this memo's series in the i2p_cache_* metric families
+	// ("observe_day", "victim_addrset", ...). Empty renders as
+	// "unnamed"; set it with Cap, before first use.
+	Ring string
+
 	memo    sync.Map // int -> *dayMemoEntry[T]
 	mu      sync.Mutex
 	ring    []int // circular buffer of memoized days, len <= cap
 	ringPos int
+
+	// stats caches this memo's instrument handles per enabled registry;
+	// nil/handles-nil while observability is disabled.
+	stats atomic.Pointer[dayMemoStats]
 }
 
 // dayMemoEntry is one memoized day. The once gate lets concurrent first
-// callers share a single compute without any memo-level lock during it.
+// callers share a single compute without any memo-level lock during it;
+// done flips after the compute so Peek can tell a finished value from an
+// in-flight insertion.
 type dayMemoEntry[T any] struct {
 	once sync.Once
+	done atomic.Bool
 	v    T
+}
+
+func (e *dayMemoEntry[T]) resolve(day int, compute func(day int) T) T {
+	e.once.Do(func() {
+		e.v = compute(day)
+		e.done.Store(true)
+	})
+	return e.v
+}
+
+// dayMemoStats is one memo's resolved instrument handles. A zero value
+// (all counters nil) is the disabled mode.
+type dayMemoStats struct {
+	reg                     *obs.Registry
+	hits, misses, evictions *obs.Counter
+}
+
+var disabledDayMemoStats = &dayMemoStats{}
+
+const (
+	hitsFamily      = "i2p_cache_hits_total"
+	missesFamily    = "i2p_cache_misses_total"
+	evictionsFamily = "i2p_cache_evictions_total"
+
+	hitsHelp      = "DayMemo lookups served from a resident day, by ring."
+	missesHelp    = "DayMemo lookups that inserted (computed) a day, by ring."
+	evictionsHelp = "DayMemo days evicted by FIFO residency pressure, by ring."
+)
+
+// getStats resolves the memo's counters against the enabled registry,
+// caching per registry identity. Disabled cost: one atomic load and a
+// nil check.
+func (m *DayMemo[T]) getStats() *dayMemoStats {
+	r := obs.Active()
+	if r == nil {
+		return disabledDayMemoStats
+	}
+	s := m.stats.Load()
+	if s != nil && s.reg == r {
+		return s
+	}
+	ring := m.Ring
+	if ring == "" {
+		ring = "unnamed"
+	}
+	s = &dayMemoStats{
+		reg:       r,
+		hits:      r.CounterVec(hitsFamily, hitsHelp, "ring").With(ring),
+		misses:    r.CounterVec(missesFamily, missesHelp, "ring").With(ring),
+		evictions: r.CounterVec(evictionsFamily, evictionsHelp, "ring").With(ring),
+	}
+	m.stats.Store(s)
+	return s
+}
+
+// PreRegisterRing eagerly materializes the named ring's series in every
+// enabled registry, so a scrape sees the ring at zero before its memo is
+// first exercised. Owner packages call it from init for each ring name
+// they assign.
+func PreRegisterRing(ring string) {
+	obs.OnEnable(func(r *obs.Registry) {
+		r.CounterVec(hitsFamily, hitsHelp, "ring").With(ring)
+		r.CounterVec(missesFamily, missesHelp, "ring").With(ring)
+		r.CounterVec(evictionsFamily, evictionsHelp, "ring").With(ring)
+	})
 }
 
 // Get returns the day's value, computing it at most once while the day
 // stays resident. compute must be pure in (owner state, day); the result
 // is shared across callers and must be treated as read-only.
 func (m *DayMemo[T]) Get(day int, compute func(day int) T) T {
+	st := m.getStats()
 	// Hit path: lock-free, so callers hammering resident days (sweep
 	// rows revisiting one victim day per (fleet, window)) never serialize.
 	if v, ok := m.memo.Load(day); ok {
-		e := v.(*dayMemoEntry[T])
-		e.once.Do(func() { e.v = compute(day) })
-		return e.v
+		st.hits.Inc()
+		return v.(*dayMemoEntry[T]).resolve(day, compute)
 	}
 	e := &dayMemoEntry[T]{}
 	if v, loaded := m.memo.LoadOrStore(day, e); loaded {
+		st.hits.Inc()
 		e = v.(*dayMemoEntry[T])
 	} else {
+		st.misses.Inc()
 		// This goroutine inserted the entry: record the day in the ring,
 		// evicting insertion-order when full. Evicting an entry another
 		// goroutine still holds is benign — its compute completes and is
@@ -68,13 +152,27 @@ func (m *DayMemo[T]) Get(day int, compute func(day int) T) T {
 			m.memo.Delete(m.ring[m.ringPos])
 			m.ring[m.ringPos] = day
 			m.ringPos = (m.ringPos + 1) % cap
+			st.evictions.Inc()
 		}
 		m.mu.Unlock()
 	}
 	// The compute runs outside the ring lock so distinct days never
 	// serialize; concurrent callers of one day share the entry's once.
-	e.once.Do(func() { e.v = compute(day) })
-	return e.v
+	return e.resolve(day, compute)
+}
+
+// Peek returns the day's value if it is resident and fully computed,
+// without computing, counting, or touching residency. Diagnostics and
+// tests only — engines use Get.
+func (m *DayMemo[T]) Peek(day int) (T, bool) {
+	if v, ok := m.memo.Load(day); ok {
+		e := v.(*dayMemoEntry[T])
+		if e.done.Load() {
+			return e.v, true
+		}
+	}
+	var zero T
+	return zero, false
 }
 
 // Resident reports how many days are currently memoized (ring length).

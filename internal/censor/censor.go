@@ -66,6 +66,9 @@ func NewCensor(network *sim.Network, routers, windowDays int, seedBase uint64) (
 		}))
 	}
 	c.obsIDs = make([]cache.DayMemo[[]int32], routers)
+	for i := range c.obsIDs {
+		c.obsIDs[i].Ring = obsIDsRing
+	}
 	return c, nil
 }
 
@@ -172,6 +175,8 @@ func NewVictim(network *sim.Network, seed uint64) *Victim {
 		}),
 		ix:              indexFor(network),
 		NetDbWindowDays: 2,
+		addrSets:        cache.DayMemo[*AddrSet]{Ring: victimAddrSetRing},
+		knownPeers:      cache.DayMemo[[]int]{Ring: victimKnownPeersRing},
 	}
 }
 

@@ -1,0 +1,58 @@
+package censor
+
+import (
+	"sync/atomic"
+
+	"github.com/i2pstudy/i2pstudy/internal/cache"
+	"github.com/i2pstudy/i2pstudy/internal/obs"
+)
+
+// Ring names for the censor's cache.DayMemo instances in the
+// i2p_cache_* metric families.
+const (
+	obsIDsRing           = "censor_obs_ids"
+	victimAddrSetRing    = "victim_addrset"
+	victimKnownPeersRing = "victim_known_peers"
+)
+
+// poolStats holds the WindowCounter pool's instrument handles: gets
+// (every NewWindowCounter), news (pool misses that allocated a fresh
+// table), puts (ReleaseWindowCounter returns). news/gets is the pool
+// miss rate; gets - puts is the count of rows that never released.
+type poolStats struct {
+	reg             *obs.Registry
+	gets, news, put *obs.Counter
+}
+
+var disabledPoolStats = &poolStats{}
+
+var cachedPoolStats atomic.Pointer[poolStats]
+
+func resolvePoolStats(r *obs.Registry) *poolStats {
+	ops := r.CounterVec("i2p_windowcounter_pool_total",
+		"WindowCounter pool traffic: get (acquisitions), new (pool-miss allocations), put (releases).", "op")
+	return &poolStats{reg: r, gets: ops.With("get"), news: ops.With("new"), put: ops.With("put")}
+}
+
+// windowPoolStats resolves the pool counters for the enabled registry;
+// disabled cost is one atomic load and a nil check.
+func windowPoolStats() *poolStats {
+	r := obs.Active()
+	if r == nil {
+		return disabledPoolStats
+	}
+	s := cachedPoolStats.Load()
+	if s != nil && s.reg == r {
+		return s
+	}
+	s = resolvePoolStats(r)
+	cachedPoolStats.Store(s)
+	return s
+}
+
+func init() {
+	cache.PreRegisterRing(obsIDsRing)
+	cache.PreRegisterRing(victimAddrSetRing)
+	cache.PreRegisterRing(victimKnownPeersRing)
+	obs.OnEnable(func(r *obs.Registry) { resolvePoolStats(r) })
+}

@@ -1,0 +1,82 @@
+package censor
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/i2pstudy/i2pstudy/internal/obs"
+)
+
+func TestWindowCounterPoolCounters(t *testing.T) {
+	prev := obs.Active()
+	r := obs.NewRegistry()
+	obs.Enable(r)
+	t.Cleanup(func() { obs.Enable(prev) })
+
+	n := network(t)
+	ix := indexFor(n)
+	wc := ix.NewWindowCounter()
+	ix.ReleaseWindowCounter(wc)
+	wc2 := ix.NewWindowCounter()
+	ix.ReleaseWindowCounter(wc2)
+
+	text := r.RenderText()
+	// gets and puts are exact; news depends on whether the shared pool
+	// held a counter from an earlier test (and on GC clearing it), so it
+	// is only bounded by the acquisitions.
+	gets := counterValue(t, text, `i2p_windowcounter_pool_total{op="get"}`)
+	puts := counterValue(t, text, `i2p_windowcounter_pool_total{op="put"}`)
+	news := counterValue(t, text, `i2p_windowcounter_pool_total{op="new"}`)
+	if gets != 2 || puts != 2 {
+		t.Errorf("gets=%d puts=%d, want 2/2:\n%s", gets, puts, text)
+	}
+	if news > gets {
+		t.Errorf("news=%d exceeds gets=%d:\n%s", news, gets, text)
+	}
+}
+
+// TestCensorRingsReportCacheTraffic: the censor's memo rings surface in
+// the i2p_cache_* families under their declared ring names once a sweep
+// touches them.
+func TestCensorRingsReportCacheTraffic(t *testing.T) {
+	prev := obs.Active()
+	r := obs.NewRegistry()
+	obs.Enable(r)
+	t.Cleanup(func() { obs.Enable(prev) })
+
+	n := network(t)
+	c, err := NewCensor(n, 2, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVictim(n, 99)
+	c.blockedPeerFunc(2, 5, 6)
+	v.addrSet(6)
+	v.KnownPeers(6)
+
+	text := r.RenderText()
+	for _, ring := range []string{obsIDsRing, victimAddrSetRing, victimKnownPeersRing} {
+		if !strings.Contains(text, `i2p_cache_misses_total{ring="`+ring+`"}`) {
+			t.Errorf("ring %q absent from cache families:\n%s", ring, text)
+		}
+	}
+}
+
+// counterValue extracts one rendered series value.
+func counterValue(t *testing.T, text, series string) int {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if v, ok := strings.CutPrefix(line, series+" "); ok {
+			n := 0
+			for _, ch := range v {
+				if ch < '0' || ch > '9' {
+					t.Fatalf("series %s has non-integer value %q", series, v)
+				}
+				n = n*10 + int(ch-'0')
+			}
+			return n
+		}
+	}
+	t.Fatalf("series %s not rendered:\n%s", series, text)
+	return 0
+}

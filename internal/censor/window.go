@@ -32,9 +32,12 @@ type WindowCounter struct {
 // long rows split into segments), so rows draw from a per-index pool
 // instead of handing the garbage collector a fresh table each time.
 func (ix *AddrIndex) NewWindowCounter() *WindowCounter {
+	st := windowPoolStats()
+	st.gets.Inc()
 	if v := ix.wcPool.Get(); v != nil {
 		return v.(*WindowCounter) // Reset on release, so ready to use
 	}
+	st.news.Inc()
 	return &WindowCounter{counts: make([]int32, ix.NumAddrs()), set: ix.NewSet()}
 }
 
@@ -43,6 +46,7 @@ func (ix *AddrIndex) NewWindowCounter() *WindowCounter {
 // Releasing is optional — an unreleased counter is simply collected —
 // and must only ever see counters obtained from the same index.
 func (ix *AddrIndex) ReleaseWindowCounter(wc *WindowCounter) {
+	windowPoolStats().put.Inc()
 	wc.Reset()
 	ix.wcPool.Put(wc)
 }

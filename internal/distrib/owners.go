@@ -8,6 +8,12 @@ import (
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 )
 
+// ownersRing names the owner-table memo's series in the i2p_cache_*
+// metric families.
+const ownersRing = "distrib_owners"
+
+func init() { cache.PreRegisterRing(ownersRing) }
+
 // Owner tables — owners[addrID] = the peer publishing the address on a
 // day, or -1 — are pure functions of the immutable network and the day,
 // exactly like the shared censor.AddrIndex they are built over. Every
@@ -38,7 +44,7 @@ var ownerCache sync.Map // *sim.Network -> *ownerEpoch
 // The slice is shared across every sweep on the network and must be
 // treated as read-only.
 func ownersFor(n *sim.Network, day int) []int32 {
-	v, _ := ownerCache.LoadOrStore(n, &ownerEpoch{})
+	v, _ := ownerCache.LoadOrStore(n, &ownerEpoch{memo: cache.DayMemo[[]int32]{Ring: ownersRing}})
 	e := v.(*ownerEpoch)
 	return e.memo.Get(day, func(day int) []int32 { return buildOwners(n, day) })
 }

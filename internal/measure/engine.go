@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/i2pstudy/i2pstudy/internal/obs"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 )
 
@@ -96,6 +97,16 @@ func (q *runQueue) popBack() (int, bool) {
 // task runs, never where its result lands. Task counts must fit in
 // int32, which every grid in the repo is orders of magnitude below.
 func FanOut(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return fanOut(ctx, n, workers, "task", func(_, i int) error { return fn(i) })
+}
+
+// fanOut is FanOut's engine: identical scheduling, but fn also receives
+// the running worker's index so row engines can attach their spans to
+// the right trace track, and every task is wrapped in a spanName span
+// when tracing is enabled. Counters and spans record scheduling facts
+// only — results still land in caller-owned task-indexed slots, so the
+// byte-identical-at-any-Workers contract is untouched by observability.
+func fanOut(ctx context.Context, n, workers int, spanName string, fn func(tid, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -103,6 +114,8 @@ func FanOut(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	st := obsStats()
+	tr := obs.ActiveTracer()
 	if workers == 1 {
 		// Serial fast path: no goroutines, no atomics. This is also the
 		// reference path the determinism goldens compare against.
@@ -110,10 +123,21 @@ func FanOut(ctx context.Context, n, workers int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if tr != nil {
+				t0 := tr.Now()
+				err := fn(0, i)
+				tr.Complete(0, spanName, t0, obs.Arg{Key: "i", Val: int64(i)})
+				if err != nil {
+					return err
+				}
+				continue
+			}
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
+		st.tasksSerial.Add(uint64(n))
+		st.workerTasks.Observe(float64(n))
 		return ctx.Err()
 	}
 
@@ -145,6 +169,14 @@ func FanOut(ctx context.Context, n, workers int, fn func(i int) error) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Counter traffic stays off the claim path: tasks and steals
+			// accumulate locally and flush once when the worker exits.
+			var ran, stolen uint64
+			defer func() {
+				st.tasksParallel.Add(ran)
+				st.steals.Add(stolen)
+				st.workerTasks.Observe(float64(ran))
+			}()
 			for {
 				if cctx.Err() != nil {
 					return
@@ -161,6 +193,12 @@ func FanOut(ctx context.Context, n, workers int, fn func(i int) error) error {
 							continue
 						}
 						if t, ok = queues[v].popBack(); ok {
+							stolen++
+							if tr != nil {
+								tr.Instant(w, "steal",
+									obs.Arg{Key: "victim", Val: int64(v)},
+									obs.Arg{Key: "i", Val: int64(t)})
+							}
 							break
 						}
 					}
@@ -168,7 +206,18 @@ func FanOut(ctx context.Context, n, workers int, fn func(i int) error) error {
 						return
 					}
 				}
-				if err := fn(t); err != nil {
+				ran++
+				if tr != nil {
+					t0 := tr.Now()
+					err := fn(w, t)
+					tr.Complete(w, spanName, t0, obs.Arg{Key: "i", Val: int64(t)})
+					if err != nil {
+						fail(err)
+						return
+					}
+					continue
+				}
+				if err := fn(w, t); err != nil {
 					fail(err)
 					return
 				}
@@ -214,6 +263,7 @@ func PlanRows(n, rows int, rowOf, key func(i int) int) RowPlan {
 	for _, row := range plan {
 		sort.SliceStable(row, func(a, b int) bool { return key(row[a]) < key(row[b]) })
 	}
+	obsStats().rowsPlanned.Add(uint64(len(plan)))
 	return plan
 }
 
@@ -266,6 +316,7 @@ func (p RowPlan) SplitRows(cost, seam func(i int) int, budget int) RowPlan {
 	if budget <= 0 {
 		return p
 	}
+	st := obsStats()
 	out := make(RowPlan, 0, len(p))
 	for _, row := range p {
 		start, acc := 0, 0
@@ -279,6 +330,8 @@ func (p RowPlan) SplitRows(cost, seam func(i int) int, budget int) RowPlan {
 				if sm <= budget/2 && sm+c <= budget {
 					out = append(out, row[start:k:k])
 					start, acc = k, sm
+					st.rowSplits.Inc()
+					st.seamCost.Add(uint64(sm))
 				}
 			}
 			acc += c
@@ -320,7 +373,8 @@ func PlanRowsCost(n, rows int, rowOf, key func(i int) int, cost, seam func(i int
 // the remaining rows; rows in flight stop after their current task.
 func FanRows(ctx context.Context, plan RowPlan, workers int, fn func(row, task int) error) error {
 	var failed atomic.Bool
-	return FanOut(ctx, len(plan), workers, func(r int) error {
+	return fanOut(ctx, len(plan), workers, "row", func(tid, r int) error {
+		tr := obs.ActiveTracer()
 		for _, t := range plan[r] {
 			// Another row already failed (FanOut holds its error) or the
 			// caller cancelled: abandon the rest of this row.
@@ -329,6 +383,18 @@ func FanRows(ctx context.Context, plan RowPlan, workers int, fn func(row, task i
 			}
 			if err := ctx.Err(); err != nil {
 				return err
+			}
+			if tr != nil {
+				c0 := tr.Now()
+				err := fn(r, t)
+				tr.Complete(tid, "cell", c0,
+					obs.Arg{Key: "row", Val: int64(r)},
+					obs.Arg{Key: "task", Val: int64(t)})
+				if err != nil {
+					failed.Store(true)
+					return err
+				}
+				continue
 			}
 			if err := fn(r, t); err != nil {
 				failed.Store(true)

@@ -1,0 +1,180 @@
+package measure
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/i2pstudy/i2pstudy/internal/obs"
+)
+
+// withObs enables a fresh registry (and optionally a tracer buffer) for
+// the test's duration, restoring the previous globals after.
+func withObs(t *testing.T, trace bool) (*obs.Registry, *strings.Builder) {
+	t.Helper()
+	prevReg, prevTr := obs.Active(), obs.ActiveTracer()
+	r := obs.NewRegistry()
+	obs.Enable(r)
+	var buf *strings.Builder
+	if trace {
+		buf = &strings.Builder{}
+		obs.EnableTrace(obs.NewTracer(buf))
+	}
+	t.Cleanup(func() {
+		obs.Enable(prevReg)
+		obs.EnableTrace(prevTr)
+	})
+	return r, buf
+}
+
+func TestFanOutCountsSerialTasks(t *testing.T) {
+	r, _ := withObs(t, false)
+	err := FanOut(context.Background(), 5, 1, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := r.RenderText()
+	if !strings.Contains(text, `i2p_engine_tasks_total{mode="serial"} 5`) {
+		t.Errorf("serial task count wrong:\n%s", text)
+	}
+}
+
+func TestFanOutCountsParallelTasksAndSteals(t *testing.T) {
+	r, buf := withObs(t, true)
+	// Force at least one steal deterministically: with 2 workers over 4
+	// tasks the runs are [0 1] and [2 3]. Task 0 blocks until every
+	// other task is done, so worker 0 cannot reach task 1 — worker 1
+	// must steal it before task 0 can unblock.
+	var others sync.WaitGroup
+	others.Add(3)
+	err := FanOut(context.Background(), 4, 2, func(i int) error {
+		if i == 0 {
+			others.Wait()
+			return nil
+		}
+		others.Done()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := r.RenderText()
+	if !strings.Contains(text, `i2p_engine_tasks_total{mode="parallel"} 4`) {
+		t.Errorf("parallel task count wrong:\n%s", text)
+	}
+	fams, _ := findCounter(text, "i2p_engine_steals_total")
+	if fams < 1 {
+		t.Errorf("steals = %d, want >= 1:\n%s", fams, text)
+	}
+	// The trace saw the same schedule: task spans on both workers and at
+	// least one steal instant naming its victim.
+	tr := buf.String()
+	if !strings.Contains(tr, `"name":"task"`) || !strings.Contains(tr, `"name":"steal"`) {
+		t.Errorf("trace missing task/steal events:\n%s", tr)
+	}
+}
+
+// findCounter extracts the rendered integer value of an unlabeled
+// counter from exposition text.
+func findCounter(text, name string) (int, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			n := 0
+			for _, c := range v {
+				if c < '0' || c > '9' {
+					return 0, false
+				}
+				n = n*10 + int(c-'0')
+			}
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+func TestPlanRowsCostCountsSplitsAndSeams(t *testing.T) {
+	r, _ := withObs(t, false)
+	// One expensive 8-task row over 4 workers: budget = ceil(8/(4*2)) = 1
+	// per segment with unit costs, so the free-seam row splits at every
+	// boundary.
+	plan := PlanRowsCost(8, 1,
+		func(i int) int { return 0 },
+		func(i int) int { return i },
+		nil, nil, 4)
+	if len(plan) < 2 {
+		t.Fatalf("row did not split: %v", plan)
+	}
+	text := r.RenderText()
+	if !strings.Contains(text, "i2p_engine_rows_planned_total 1") {
+		t.Errorf("rows planned wrong:\n%s", text)
+	}
+	splits, ok := findCounter(text, "i2p_engine_row_splits_total")
+	if !ok || splits != len(plan)-1 {
+		t.Errorf("splits counter = %d, want %d:\n%s", splits, len(plan)-1, text)
+	}
+	// Free seams accrue zero seam cost.
+	if !strings.Contains(text, "i2p_engine_row_seam_cost_total 0") {
+		t.Errorf("seam cost should be 0 for nil seam model:\n%s", text)
+	}
+}
+
+func TestSplitRowsCountsSeamCost(t *testing.T) {
+	r, _ := withObs(t, false)
+	row := make([]int, 10)
+	for i := range row {
+		row[i] = i
+	}
+	plan := RowPlan{row}
+	// Unit cost, seam 2 per cut, budget 5: cuts are allowed (2 <= 5/2)
+	// and each accepted cut adds its seam estimate to the counter.
+	split := plan.SplitRows(nil, func(i int) int { return 2 }, 5)
+	cuts := len(split) - len(plan)
+	if cuts < 1 {
+		t.Fatalf("expected at least one cut: %v", split)
+	}
+	text := r.RenderText()
+	seam, ok := findCounter(text, "i2p_engine_row_seam_cost_total")
+	if !ok || seam != 2*cuts {
+		t.Errorf("seam cost = %d, want %d:\n%s", seam, 2*cuts, text)
+	}
+}
+
+func TestFanRowsEmitsRowAndCellSpans(t *testing.T) {
+	_, buf := withObs(t, true)
+	plan := RowPlan{{0, 1}, {2}, {3, 4}}
+	err := FanRows(context.Background(), plan, 2, func(row, task int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := buf.String()
+	if strings.Count(tr, `"name":"cell"`) != 5 {
+		t.Errorf("want 5 cell spans:\n%s", tr)
+	}
+	if strings.Count(tr, `"name":"row"`) != 3 {
+		t.Errorf("want 3 row spans:\n%s", tr)
+	}
+}
+
+func TestObservabilityDisabledFanOutStillWorks(t *testing.T) {
+	prevReg, prevTr := obs.Active(), obs.ActiveTracer()
+	obs.Enable(nil)
+	obs.EnableTrace(nil)
+	t.Cleanup(func() {
+		obs.Enable(prevReg)
+		obs.EnableTrace(prevTr)
+	})
+	got := make([]int, 16)
+	err := FanOut(context.Background(), 16, 4, func(i int) error {
+		got[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}

@@ -11,9 +11,12 @@
 package enginetest
 
 import (
+	"io"
 	"reflect"
 	"runtime"
 	"testing"
+
+	"github.com/i2pstudy/i2pstudy/internal/obs"
 )
 
 // Case is one engine scenario.
@@ -36,8 +39,20 @@ func Workers() []int { return []int{1, 4, runtime.NumCPU(), 0} }
 // ladder width produces an artifact reflect.DeepEqual-identical to the
 // serial reference. Cases run as subtests, so a failure names the
 // engine and the width that diverged.
+//
+// The whole ladder runs with observability fully enabled — a fresh
+// counter registry and a tracer draining to io.Discard — so these
+// goldens also enforce the obs layer's hard contract: counters and
+// spans record scheduling facts and must never influence a result.
 func Golden(t *testing.T, cases []Case) {
 	t.Helper()
+	prevReg, prevTr := obs.Active(), obs.ActiveTracer()
+	obs.Enable(obs.NewRegistry())
+	obs.EnableTrace(obs.NewTracer(io.Discard))
+	t.Cleanup(func() {
+		obs.Enable(prevReg)
+		obs.EnableTrace(prevTr)
+	})
 	for _, c := range cases {
 		t.Run(c.Name, func(t *testing.T) {
 			ladder := Workers()

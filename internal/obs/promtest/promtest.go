@@ -1,0 +1,431 @@
+// Package promtest is a minimal Prometheus text-exposition parser used by
+// tests to validate /metrics output structurally instead of by string
+// matching: every family must carry HELP and TYPE lines, histogram
+// buckets must be cumulative and agree with _count, and label values must
+// be legally escaped. It is a test dependency only — the serving path
+// never imports it.
+package promtest
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one rendered series line.
+type Sample struct {
+	Name   string // full line name, e.g. "foo_bucket"
+	Labels []Label
+	Value  float64
+}
+
+// Label is one name="value" pair with the value unescaped.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Get returns the value of the named label and whether it was present.
+func (s *Sample) Get(name string) (string, bool) {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// Family is one metric family: the base name (without _bucket/_sum/_count
+// suffixes for histograms), its HELP and TYPE, and all its samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Parse reads a text exposition and groups samples into families. A
+// sample line whose name (or histogram-suffix-stripped name) was never
+// declared by a TYPE line is an error.
+func Parse(text string) ([]*Family, error) {
+	byName := make(map[string]*Family)
+	var order []string
+	lookup := func(name string) *Family {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		return nil
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return nil, fmt.Errorf("line %d: HELP with no metric name", lineNo)
+			}
+			f := lookup(name)
+			if f == nil {
+				f = &Family{Name: name}
+				byName[name] = f
+				order = append(order, name)
+			}
+			f.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := parts[0], parts[1]
+			f := lookup(name)
+			if f == nil {
+				f = &Family{Name: name}
+				byName[name] = f
+				order = append(order, name)
+			}
+			if f.Type != "" && f.Type != typ {
+				return nil, fmt.Errorf("line %d: family %q re-typed %q -> %q", lineNo, name, f.Type, typ)
+			}
+			f.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := lookup(s.Name)
+		if fam == nil {
+			// Histogram component lines attach to the base family.
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base, ok := strings.CutSuffix(s.Name, suf); ok {
+					if f := lookup(base); f != nil && f.Type == "histogram" {
+						fam = f
+						break
+					}
+				}
+			}
+		}
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no declaring TYPE line", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, *s)
+	}
+	out := make([]*Family, 0, len(order))
+	for _, n := range order {
+		out = append(out, byName[n])
+	}
+	return out, nil
+}
+
+// parseSample parses `name{a="b",...} value` (labels optional).
+func parseSample(line string) (*Sample, error) {
+	s := &Sample{}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return nil, fmt.Errorf("malformed sample line %q", line)
+	}
+	s.Name = line[:i]
+	if s.Name == "" {
+		return nil, fmt.Errorf("empty metric name in %q", line)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		escaped := false
+		for j := 1; j < len(rest); j++ {
+			c := rest[j]
+			if escaped {
+				escaped = false
+				continue
+			}
+			switch {
+			case inQuote && c == '\\':
+				escaped = true
+			case c == '"':
+				inQuote = !inQuote
+			case !inQuote && c == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return nil, fmt.Errorf("%v in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	if valStr == "" {
+		return nil, fmt.Errorf("missing value in %q", line)
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad value %q: %v", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses the inside of a {...} label set, unescaping values.
+func parseLabels(body string) ([]Label, error) {
+	var out []Label
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair missing '='")
+		}
+		name := body[i : i+eq]
+		if name == "" || !validLabelName(name) {
+			return nil, fmt.Errorf("bad label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		for i < len(body) {
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch body[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("invalid escape \\%c in label %q", body[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			if c == '\n' {
+				return nil, fmt.Errorf("raw newline in label %q", name)
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %q", name)
+		}
+		out = append(out, Label{Name: name, Value: val.String()})
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, fmt.Errorf("expected ',' after label %q", name)
+			}
+			i++
+		}
+	}
+	return out, nil
+}
+
+func validLabelName(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// Lint parses text and checks structural conformance for every family:
+// HELP and TYPE present, a known type, counters named *_total, no
+// duplicate series, and for histograms cumulative buckets whose +Inf
+// equals _count per series. Returns all problems found.
+func Lint(text string) []error {
+	fams, err := Parse(text)
+	if err != nil {
+		return []error{err}
+	}
+	var errs []error
+	for _, f := range fams {
+		if f.Help == "" {
+			errs = append(errs, fmt.Errorf("family %q: missing HELP", f.Name))
+		}
+		switch f.Type {
+		case "counter":
+			if !strings.HasSuffix(f.Name, "_total") {
+				errs = append(errs, fmt.Errorf("family %q: counter not named *_total", f.Name))
+			}
+		case "gauge", "histogram", "summary", "untyped":
+		case "":
+			errs = append(errs, fmt.Errorf("family %q: missing TYPE", f.Name))
+		default:
+			errs = append(errs, fmt.Errorf("family %q: unknown TYPE %q", f.Name, f.Type))
+		}
+		if f.Type == "histogram" {
+			errs = append(errs, lintHistogram(f)...)
+		} else {
+			seen := make(map[string]bool)
+			for _, s := range f.Samples {
+				k := seriesKey(&s)
+				if seen[k] {
+					errs = append(errs, fmt.Errorf("family %q: duplicate series %s", f.Name, k))
+				}
+				seen[k] = true
+				if f.Type == "counter" && s.Value < 0 {
+					errs = append(errs, fmt.Errorf("family %q: negative counter %s", f.Name, k))
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// lintHistogram checks each series of a histogram family: buckets
+// non-decreasing in both le and count, an explicit +Inf bucket equal to
+// the series' _count, and a _sum line present.
+func lintHistogram(f *Family) []error {
+	type hseries struct {
+		buckets  []Sample
+		sum      *Sample
+		count    *Sample
+		haveInfo bool
+	}
+	series := make(map[string]*hseries)
+	var order []string
+	get := func(k string) *hseries {
+		if s, ok := series[k]; ok {
+			return s
+		}
+		s := &hseries{}
+		series[k] = s
+		order = append(order, k)
+		return s
+	}
+	for i := range f.Samples {
+		s := f.Samples[i]
+		// The le label distinguishes buckets within a series; strip it
+		// for the series identity.
+		var rest []Label
+		for _, l := range s.Labels {
+			if l.Name != "le" {
+				rest = append(rest, l)
+			}
+		}
+		key := labelsKey(rest)
+		hs := get(key)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			hs.buckets = append(hs.buckets, s)
+		case strings.HasSuffix(s.Name, "_sum"):
+			hs.sum = &f.Samples[i]
+		case strings.HasSuffix(s.Name, "_count"):
+			hs.count = &f.Samples[i]
+		default:
+			return []error{fmt.Errorf("family %q: unexpected histogram sample %q", f.Name, s.Name)}
+		}
+	}
+	var errs []error
+	for _, key := range order {
+		hs := series[key]
+		id := f.Name + key
+		if len(hs.buckets) == 0 {
+			errs = append(errs, fmt.Errorf("histogram %s: no buckets", id))
+			continue
+		}
+		if hs.sum == nil {
+			errs = append(errs, fmt.Errorf("histogram %s: missing _sum", id))
+		}
+		if hs.count == nil {
+			errs = append(errs, fmt.Errorf("histogram %s: missing _count", id))
+			continue
+		}
+		var prevLe, prevCount float64
+		var haveInf bool
+		for i, b := range hs.buckets {
+			leStr, ok := b.Get("le")
+			if !ok {
+				errs = append(errs, fmt.Errorf("histogram %s: bucket without le label", id))
+				continue
+			}
+			var le float64
+			if leStr == "+Inf" {
+				le = inf()
+				haveInf = true
+			} else {
+				v, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					errs = append(errs, fmt.Errorf("histogram %s: bad le %q", id, leStr))
+					continue
+				}
+				le = v
+			}
+			if i > 0 {
+				if le <= prevLe {
+					errs = append(errs, fmt.Errorf("histogram %s: le not increasing at %q", id, leStr))
+				}
+				if b.Value < prevCount {
+					errs = append(errs, fmt.Errorf("histogram %s: bucket counts not cumulative at le=%q (%g < %g)", id, leStr, b.Value, prevCount))
+				}
+			}
+			prevLe, prevCount = le, b.Value
+		}
+		if !haveInf {
+			errs = append(errs, fmt.Errorf("histogram %s: missing +Inf bucket", id))
+		} else if hs.buckets[len(hs.buckets)-1].Value != hs.count.Value {
+			errs = append(errs, fmt.Errorf("histogram %s: +Inf bucket %g != _count %g", id, hs.buckets[len(hs.buckets)-1].Value, hs.count.Value))
+		}
+	}
+	return errs
+}
+
+func inf() float64 { v, _ := strconv.ParseFloat("+Inf", 64); return v }
+
+func seriesKey(s *Sample) string { return s.Name + labelsKey(s.Labels) }
+
+func labelsKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + "=" + strconv.Quote(l.Value)
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Find returns the family with the given name, or nil.
+func Find(fams []*Family, name string) *Family {
+	for _, f := range fams {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}

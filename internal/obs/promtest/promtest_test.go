@@ -1,0 +1,132 @@
+package promtest
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodText = `# HELP jobs_total Jobs processed.
+# TYPE jobs_total counter
+jobs_total{kind="fast"} 3
+jobs_total{kind="slow"} 1
+# HELP pool_size Live pool entries.
+# TYPE pool_size gauge
+pool_size{dist="https"} 7
+# HELP lat Latency.
+# TYPE lat histogram
+lat_bucket{le="0.1"} 1
+lat_bucket{le="1"} 3
+lat_bucket{le="+Inf"} 5
+lat_sum 56.05
+lat_count 5
+`
+
+func TestParseGroupsFamilies(t *testing.T) {
+	fams, err := Parse(goodText)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("got %d families, want 3", len(fams))
+	}
+	jt := Find(fams, "jobs_total")
+	if jt == nil || jt.Type != "counter" || len(jt.Samples) != 2 {
+		t.Fatalf("jobs_total mis-parsed: %+v", jt)
+	}
+	if v, ok := jt.Samples[0].Get("kind"); !ok || v != "fast" {
+		t.Errorf("first sample label = %q, %v", v, ok)
+	}
+	lat := Find(fams, "lat")
+	if lat == nil || len(lat.Samples) != 5 {
+		t.Fatalf("histogram components not attached to base family: %+v", lat)
+	}
+}
+
+func TestParseUnescapesLabels(t *testing.T) {
+	text := "# HELP e h\n# TYPE e gauge\ne{v=\"a\\\\b\\\"c\\nd\"} 1\n"
+	fams, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	v, _ := fams[0].Samples[0].Get("v")
+	if v != "a\\b\"c\nd" {
+		t.Errorf("unescaped value = %q", v)
+	}
+}
+
+func TestParseRejectsUndeclaredSample(t *testing.T) {
+	if _, err := Parse("loose_metric 1\n"); err == nil {
+		t.Error("sample without TYPE accepted")
+	}
+}
+
+func TestLintCleanOnGoodText(t *testing.T) {
+	if errs := Lint(goodText); len(errs) != 0 {
+		t.Errorf("Lint flagged clean text: %v", errs)
+	}
+}
+
+func TestLintCatches(t *testing.T) {
+	cases := []struct {
+		name, text, wantSub string
+	}{
+		{
+			"missing help",
+			"# TYPE x_total counter\nx_total 1\n",
+			"missing HELP",
+		},
+		{
+			"counter name",
+			"# HELP x h\n# TYPE x counter\nx 1\n",
+			"not named *_total",
+		},
+		{
+			"duplicate series",
+			"# HELP x_total h\n# TYPE x_total counter\nx_total{a=\"1\"} 1\nx_total{a=\"1\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"non-cumulative buckets",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"missing inf",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+			"missing +Inf",
+		},
+		{
+			"inf vs count",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+			"!= _count",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := Lint(tc.text)
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.wantSub) {
+					return
+				}
+			}
+			t.Errorf("Lint(%q) = %v, want error containing %q", tc.text, errs, tc.wantSub)
+		})
+	}
+}
+
+func TestLintLabeledHistogramSeries(t *testing.T) {
+	text := `# HELP h h
+# TYPE h histogram
+h_bucket{dist="a",le="1"} 2
+h_bucket{dist="a",le="+Inf"} 3
+h_sum{dist="a"} 1.5
+h_count{dist="a"} 3
+h_bucket{dist="b",le="1"} 0
+h_bucket{dist="b",le="+Inf"} 1
+h_sum{dist="b"} 9
+h_count{dist="b"} 1
+`
+	if errs := Lint(text); len(errs) != 0 {
+		t.Errorf("Lint flagged clean labeled histogram: %v", errs)
+	}
+}

@@ -1,0 +1,438 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Family creation takes a mutex (it happens once per
+// family per process); series lookup on an already-seen label combination
+// and every Inc/Add/Set/Observe are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one named metric family: fixed label names (possibly none),
+// one series per label-value combination.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+
+	// series maps the "\x1f"-joined label values to the *Counter /
+	// *Gauge / *Histogram for that combination. The separator cannot
+	// appear in reasonable label values, and even a pathological value
+	// containing it only merges two series — it cannot corrupt state.
+	series sync.Map
+}
+
+// seriesKeySep joins label values into a series key. ASCII unit
+// separator: never produced by the instrumentation sites here.
+const seriesKeySep = "\x1f"
+
+// getFamily returns the named family, creating it if absent. Creation is
+// idempotent; a kind or label-arity mismatch against an existing family
+// panics — it is a programming error at an instrumentation site, not a
+// runtime condition.
+func (r *Registry) getFamily(name, help string, kind metricKind, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: family %q re-registered as %s/%d labels (was %s/%d)",
+				name, kind, len(labels), f.kind, len(f.labels)))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: append([]string(nil), labels...)}
+	r.families[name] = f
+	return f
+}
+
+// Counter is a monotonically increasing uint64. All methods are nil-safe:
+// instrumentation sites hold a possibly-nil *Counter and pay only the nil
+// check when observability is disabled.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value (0 on nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Load returns the current value (0 on nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations. Buckets
+// are upper bounds (exclusive of +Inf, which is implicit); counts are
+// cumulative only at render time — internally each bucket counts its own
+// range so Observe is a single atomic increment.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	total  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// CounterVec is a counter family with labels; With resolves one series.
+type CounterVec struct{ f *family }
+
+// GaugeVec is a gauge family with labels; With resolves one series.
+type GaugeVec struct{ f *family }
+
+// HistogramVec is a histogram family with labels; With resolves one series.
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// Counter registers (or finds) an unlabeled counter family and returns
+// its single series. Nil-safe on the registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, kindCounter, nil)
+	return f.counterSeries("")
+}
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.getFamily(name, help, kindCounter, labels)}
+}
+
+// Gauge registers (or finds) an unlabeled gauge family and returns its
+// single series.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, kindGauge, nil)
+	return f.gaugeSeries("")
+}
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.getFamily(name, help, kindGauge, labels)}
+}
+
+// Histogram registers (or finds) an unlabeled histogram family with the
+// given bucket upper bounds (must be sorted ascending) and returns its
+// single series.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, kindHistogram, nil)
+	v, _ := f.series.Load("")
+	if v != nil {
+		return v.(*Histogram)
+	}
+	h := newHistogram(bounds)
+	actual, _ := f.series.LoadOrStore("", h)
+	return actual.(*Histogram)
+}
+
+// HistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.getFamily(name, help, kindHistogram, labels), bounds: bounds}
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+func (f *family) counterSeries(key string) *Counter {
+	if v, ok := f.series.Load(key); ok {
+		return v.(*Counter)
+	}
+	v, _ := f.series.LoadOrStore(key, new(Counter))
+	return v.(*Counter)
+}
+
+func (f *family) gaugeSeries(key string) *Gauge {
+	if v, ok := f.series.Load(key); ok {
+		return v.(*Gauge)
+	}
+	v, _ := f.series.LoadOrStore(key, new(Gauge))
+	return v.(*Gauge)
+}
+
+// With resolves the series for the given label values (one per declared
+// label name, in declaration order). Nil-safe.
+func (cv *CounterVec) With(values ...string) *Counter {
+	if cv == nil {
+		return nil
+	}
+	cv.f.checkArity(len(values))
+	return cv.f.counterSeries(strings.Join(values, seriesKeySep))
+}
+
+// With resolves the series for the given label values. Nil-safe.
+func (gv *GaugeVec) With(values ...string) *Gauge {
+	if gv == nil {
+		return nil
+	}
+	gv.f.checkArity(len(values))
+	return gv.f.gaugeSeries(strings.Join(values, seriesKeySep))
+}
+
+// With resolves the series for the given label values. Nil-safe.
+func (hv *HistogramVec) With(values ...string) *Histogram {
+	if hv == nil {
+		return nil
+	}
+	hv.f.checkArity(len(values))
+	key := strings.Join(values, seriesKeySep)
+	if v, ok := hv.f.series.Load(key); ok {
+		return v.(*Histogram)
+	}
+	v, _ := hv.f.series.LoadOrStore(key, newHistogram(hv.bounds))
+	return v.(*Histogram)
+}
+
+func (f *family) checkArity(n int) {
+	if n != len(f.labels) {
+		panic(fmt.Sprintf("obs: family %q called with %d label values, declared %d", f.name, n, len(f.labels)))
+	}
+}
+
+// escapeLabel escapes a label value per the Prometheus text format:
+// backslash, double-quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// labelString renders {name="v",...} for the series key, or "" for the
+// unlabeled single series.
+func (f *family) labelString(key string) string {
+	if len(f.labels) == 0 {
+		return ""
+	}
+	values := strings.Split(key, seriesKeySep)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, ln := range f.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(ln)
+		b.WriteString(`="`)
+		if i < len(values) {
+			b.WriteString(escapeLabel(values[i]))
+		}
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Render writes every family in the Prometheus text exposition format:
+// families sorted by name, series sorted by label values, HELP and TYPE
+// lines per family, cumulative histogram buckets with an explicit +Inf.
+func (r *Registry) Render(w *strings.Builder) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make([]*family, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		keys := make([]string, 0, 4)
+		f.series.Range(func(k, _ any) bool {
+			keys = append(keys, k.(string))
+			return true
+		})
+		if len(keys) == 0 {
+			continue
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, k := range keys {
+			v, _ := f.series.Load(k)
+			ls := f.labelString(k)
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, ls, v.(*Counter).Load())
+			case kindGauge:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, ls, v.(*Gauge).Load())
+			case kindHistogram:
+				renderHistogram(w, f, k, v.(*Histogram))
+			}
+		}
+	}
+}
+
+// RenderText returns Render's output as a string.
+func (r *Registry) RenderText() string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+func renderHistogram(w *strings.Builder, f *family, key string, h *Histogram) {
+	// Bucket lines carry the series labels plus le; splice le in before
+	// the closing brace (or open a fresh brace set for unlabeled series).
+	base := f.labelString(key)
+	bucketLabels := func(le string) string {
+		if base == "" {
+			return "{le=\"" + le + "\"}"
+		}
+		return base[:len(base)-1] + ",le=\"" + le + "\"}"
+	}
+	var cum uint64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bucketLabels(fmt.Sprintf("%g", ub)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bucketLabels("+Inf"), h.Count())
+	fmt.Fprintf(w, "%s_sum%s %g\n", f.name, base, h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, base, h.Count())
+}

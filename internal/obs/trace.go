@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer emits Chrome trace-event JSON (the format Perfetto and
+// chrome://tracing load directly): a bare JSON array of "X" (complete),
+// "i" (instant), and "M" (metadata) events with microsecond timestamps.
+//
+// All methods are nil-safe so instrumentation sites can hold the result
+// of ActiveTracer() unconditionally. Emission takes a mutex — tracing is
+// an opt-in diagnostic mode, not a hot-path default — but timestamps are
+// taken outside the lock (Now/Complete), so contention skews only file
+// ordering, never the recorded spans. Per-thread timestamp monotonicity
+// is structural: each tid is one worker goroutine emitting sequentially.
+type Tracer struct {
+	mu      sync.Mutex
+	w       io.Writer
+	start   time.Time
+	wrote   bool
+	named   map[int]bool
+	closed  bool
+	procSet bool
+}
+
+// Arg is one integer key/value attached to a trace event.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// NewTracer starts a trace stream on w. Call Close to terminate the JSON
+// array; until then the output is still loadable by Perfetto (the format
+// tolerates a missing close bracket) so a crashed run keeps its trace.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, start: time.Now(), named: make(map[int]bool)}
+}
+
+// Now returns the tracer-relative timestamp for a span start. Zero on a
+// nil tracer, so the disabled pattern is:
+//
+//	tr := obs.ActiveTracer()
+//	t0 := tr.Now()        // no-op when nil
+//	... work ...
+//	tr.Complete(tid, "row", t0, args...)
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// Complete emits an "X" (complete) event for a span that started at the
+// Now() value start and ends now.
+func (t *Tracer) Complete(tid int, name string, start time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	end := time.Since(t.start)
+	if end < start {
+		end = start
+	}
+	t.emit(tid, name, "X", start, end-start, args)
+}
+
+// Instant emits an "i" (instant) event at the current time.
+func (t *Tracer) Instant(tid int, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit(tid, name, "i", time.Since(t.start), -1, args)
+}
+
+// usec renders a duration as float microseconds, the unit trace-event
+// timestamps use.
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func (t *Tracer) emit(tid int, name, phase string, ts, dur time.Duration, args []Arg) {
+	var b strings.Builder
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	if !t.procSet {
+		t.procSet = true
+		t.writeEvent(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"i2pstudy"}}`)
+	}
+	if !t.named[tid] {
+		t.named[tid] = true
+		t.writeEvent(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"worker-%d"}}`, tid, tid))
+	}
+	fmt.Fprintf(&b, `{"name":%q,"ph":%q,"pid":1,"tid":%d,"ts":%.3f`, name, phase, tid, usec(ts))
+	if dur >= 0 {
+		fmt.Fprintf(&b, `,"dur":%.3f`, usec(dur))
+	}
+	if phase == "i" {
+		// Thread-scoped instant: rendered as a tick on the emitting track.
+		b.WriteString(`,"s":"t"`)
+	}
+	if len(args) > 0 {
+		b.WriteString(`,"args":{`)
+		for i, a := range args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `%q:%d`, a.Key, a.Val)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+	t.writeEvent(b.String())
+}
+
+// writeEvent appends one pre-rendered event object to the JSON array.
+// Callers hold t.mu.
+func (t *Tracer) writeEvent(ev string) {
+	if t.wrote {
+		io.WriteString(t.w, ",\n")
+	} else {
+		io.WriteString(t.w, "[\n")
+		t.wrote = true
+	}
+	io.WriteString(t.w, ev)
+}
+
+// Close terminates the JSON array. Further events are dropped. It does
+// not close the underlying writer.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	var err error
+	if t.wrote {
+		_, err = io.WriteString(t.w, "\n]\n")
+	} else {
+		_, err = io.WriteString(t.w, "[]\n")
+	}
+	return err
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+// arg returns an integer arg value (metadata events carry string args,
+// numeric ones decode as float64).
+func (e *traceEvent) arg(key string) int64 {
+	v, ok := e.Args[key].(float64)
+	if !ok {
+		return -1
+	}
+	return int64(v)
+}
+
+func decodeTrace(t *testing.T, raw string) []traceEvent {
+	t.Helper()
+	var evs []traceEvent
+	if err := json.Unmarshal([]byte(raw), &evs); err != nil {
+		t.Fatalf("trace output is not a JSON array: %v\n%s", err, raw)
+	}
+	return evs
+}
+
+func TestTracerEmitsWellFormedEvents(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(&buf)
+	t0 := tr.Now()
+	time.Sleep(time.Millisecond)
+	tr.Complete(2, "row", t0, Arg{Key: "row", Val: 7})
+	tr.Instant(2, "steal", Arg{Key: "victim", Val: 1})
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	evs := decodeTrace(t, buf.String())
+	var gotComplete, gotInstant, gotThreadMeta bool
+	for _, ev := range evs {
+		if ev.Pid != 1 {
+			t.Errorf("event %q pid = %d, want 1", ev.Name, ev.Pid)
+		}
+		switch {
+		case ev.Ph == "X" && ev.Name == "row":
+			gotComplete = true
+			if ev.Tid != 2 || ev.Dur == nil || *ev.Dur < 900 {
+				t.Errorf("complete event malformed: %+v", ev)
+			}
+			if ev.arg("row") != 7 {
+				t.Errorf("complete args = %v, want row=7", ev.Args)
+			}
+		case ev.Ph == "i" && ev.Name == "steal":
+			gotInstant = true
+			if ev.arg("victim") != 1 {
+				t.Errorf("instant args = %v", ev.Args)
+			}
+		case ev.Ph == "M" && ev.Name == "thread_name" && ev.Tid == 2:
+			gotThreadMeta = true
+		}
+	}
+	if !gotComplete || !gotInstant || !gotThreadMeta {
+		t.Errorf("missing events (complete=%v instant=%v meta=%v):\n%s",
+			gotComplete, gotInstant, gotThreadMeta, buf.String())
+	}
+}
+
+func TestTracerMonotonePerTid(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(&buf)
+	for i := 0; i < 50; i++ {
+		t0 := tr.Now()
+		tr.Complete(i%3, "span", t0)
+	}
+	tr.Close()
+	last := map[int]float64{}
+	for _, ev := range decodeTrace(t, buf.String()) {
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.Ts < last[ev.Tid] {
+			t.Fatalf("tid %d ts went backwards: %f < %f", ev.Tid, ev.Ts, last[ev.Tid])
+		}
+		last[ev.Tid] = ev.Ts
+	}
+}
+
+func TestTracerEmptyAndAfterClose(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(&buf)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if len(decodeTrace(t, buf.String())) != 0 {
+		t.Errorf("empty tracer rendered events: %s", buf.String())
+	}
+	tr.Instant(0, "late")
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if strings.Count(buf.String(), "]") != 1 {
+		t.Errorf("post-close emission corrupted output: %s", buf.String())
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	t0 := tr.Now()
+	if t0 != 0 {
+		t.Errorf("nil Now = %v, want 0", t0)
+	}
+	tr.Complete(0, "x", t0)
+	tr.Instant(0, "y")
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

@@ -1,13 +1,19 @@
-// Package prof plumbs runtime/pprof behind the -cpuprofile and
-// -memprofile flags the command-line tools share, so scheduler and
-// allocation work on the engines is profileable without editing code:
+// Package prof plumbs runtime/pprof behind the profiling flags the
+// command-line tools share (-cpuprofile, -memprofile, -blockprofile,
+// -mutexprofile), so scheduler and allocation work on the engines is
+// profileable without editing code:
 //
 //	i2pcensor -cpuprofile cpu.out -memprofile mem.out -experiment figure-13
+//	i2pmeasure -blockprofile block.out -mutexprofile mutex.out ...
 //	go tool pprof cpu.out
 //
 // The package is a thin lifecycle wrapper — profiling policy (sample
 // rates, label sets) stays with the runtime defaults the pprof tooling
-// expects.
+// expects. The one exception is contention profiling: the block and
+// mutex profilers are off by default process-wide, so StartOptions sets
+// their rates only when the corresponding profile was requested, and
+// resets them at stop so a long-lived caller doesn't keep paying the
+// sampling cost after the capture.
 package prof
 
 import (
@@ -16,16 +22,37 @@ import (
 	"runtime/pprof"
 )
 
+// Options names the profile outputs; any empty path skips that profile.
+type Options struct {
+	// CPUProfile receives a runtime CPU profile spanning start to stop.
+	CPUProfile string
+	// MemProfile receives a heap snapshot taken at stop, after a GC.
+	MemProfile string
+	// BlockProfile receives a blocking-contention profile at stop.
+	// Requesting it sets runtime.SetBlockProfileRate(1) for the run.
+	BlockProfile string
+	// MutexProfile receives a mutex-contention profile at stop.
+	// Requesting it sets runtime.SetMutexProfileFraction(1) for the run.
+	MutexProfile string
+}
+
 // Start begins CPU profiling into cpuPath and arranges a heap profile
-// at memPath; either path may be empty to skip that profile. The
-// returned stop function finishes the CPU profile and writes the heap
-// snapshot — call it once, on the way out (note that os.Exit and
-// log.Fatal skip deferred stops, so a run that dies early loses its
-// profiles, matching `go test -cpuprofile` behavior).
+// at memPath. Kept as the two-profile shorthand for callers that don't
+// need contention profiles; see StartOptions.
 func Start(cpuPath, memPath string) (stop func() error, err error) {
+	return StartOptions(Options{CPUProfile: cpuPath, MemProfile: memPath})
+}
+
+// StartOptions starts every requested profile. The returned stop
+// function finishes the CPU profile, writes the snapshot profiles and
+// restores the contention-sampling rates — call it once, on the way out
+// (note that os.Exit and log.Fatal skip deferred stops, so a run that
+// dies early loses its profiles, matching `go test -cpuprofile`
+// behavior).
+func StartOptions(opts Options) (stop func() error, err error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
+	if opts.CPUProfile != "" {
+		cpuFile, err = os.Create(opts.CPUProfile)
 		if err != nil {
 			return nil, err
 		}
@@ -34,28 +61,60 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, err
 		}
 	}
+	// Contention sampling turns on only when asked for: rate 1 records
+	// every event, the right trade for a bounded batch run.
+	if opts.BlockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if opts.MutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 	return func() error {
+		var firstErr error
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			if err := cpuFile.Close(); err != nil {
-				return err
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
 			}
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				return err
-			}
+		if opts.MemProfile != "" {
 			// A GC beforehand folds unreachable garbage out of the
 			// snapshot, so the profile shows live allocation, not
 			// collection timing.
 			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				f.Close()
-				return err
+			if err := writeLookup("heap", opts.MemProfile); err != nil && firstErr == nil {
+				firstErr = err
 			}
-			return f.Close()
 		}
-		return nil
+		if opts.BlockProfile != "" {
+			if err := writeLookup("block", opts.BlockProfile); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			runtime.SetBlockProfileRate(0)
+		}
+		if opts.MutexProfile != "" {
+			if err := writeLookup("mutex", opts.MutexProfile); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			runtime.SetMutexProfileFraction(0)
+		}
+		return firstErr
 	}, nil
+}
+
+// writeLookup snapshots one named runtime profile to path.
+func writeLookup(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return nil // unknown profile name: nothing to write
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

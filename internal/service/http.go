@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/netip"
+	"runtime/debug"
 	"strconv"
 	"time"
 
@@ -56,10 +57,53 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/handout", s.handleHandout)
 	mux.HandleFunc("/"+reseed.SeedFileName, s.handleSeeds)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// HealthJSON is the /healthz response body: liveness plus enough build
+// identity to tell which binary answered.
+type HealthJSON struct {
+	Status        string  `json:"status"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"revision,omitempty"`
+	Modified      bool    `json:"modified,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// buildIdentity reads the binary's Go version and VCS revision from the
+// embedded build info; fields stay empty when the binary was built
+// outside a module or checkout.
+func buildIdentity() (goVersion, revision string, modified bool) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", "", false
+	}
+	goVersion = bi.GoVersion
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			revision = kv.Value
+		case "vcs.modified":
+			modified = kv.Value == "true"
+		}
+	}
+	return goVersion, revision, modified
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	goVersion, revision, modified := buildIdentity()
+	resp := HealthJSON{
+		Status:        "ok",
+		GoVersion:     goVersion,
+		Revision:      revision,
+		Modified:      modified,
+		UptimeSeconds: s.cfg.Now().Sub(s.started).Seconds(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, "encode health", http.StatusInternalServerError)
+	}
 }
 
 // clientAddr parses the request's client IP for the blacklist check.

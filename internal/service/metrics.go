@@ -1,150 +1,95 @@
 package service
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
-	"sync/atomic"
+	"strconv"
+
+	"github.com/i2pstudy/i2pstudy/internal/obs"
 )
 
-// This file is the /metrics exposition. The container bakes in no
-// dependency on a metrics client, so the counters are hand-rolled — a
-// small fixed instrument set rendered in the Prometheus text format
-// (counters, gauges, and one cumulative histogram), which is all the
-// smoke job and dashboards need.
+// This file is the /metrics exposition. The daemon's instrument set
+// rides on internal/obs — the same zero-dependency registry the batch
+// engines count into — so a shared registry (Config.Registry) makes one
+// /metrics page carry the handout series next to the engine families
+// (i2p_engine_*, i2p_cache_*, i2p_windowcounter_*).
 
 // latencyBuckets are the handout-latency histogram upper bounds in
 // seconds, spanning sub-microsecond in-process serves to second-scale
 // stalls.
-var latencyBuckets = [numLatencyBuckets]float64{
+var latencyBuckets = []float64{
 	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1, 5,
 }
 
-const numLatencyBuckets = 14
+// probeOutcomes are the probe result labels, pre-created so every
+// outcome renders (at zero) from the first scrape: "panic" is a probe
+// that panicked rather than returned an error — a prober bug, not a
+// dead bridge — and gets its own label instead of masquerading as fail.
+var probeOutcomes = []string{"ok", "fail", "panic", "retired"}
 
 // Metrics is the daemon's instrument set. All methods are safe for
 // concurrent use; the hot-path instruments (request counters, the
-// latency histogram) are lock-free.
+// latency histogram) are lock-free after a series' first use.
 type Metrics struct {
-	mu sync.Mutex
+	reg *obs.Registry
+
 	// requests counts handout requests by (distributor, status code).
-	requests map[string]*atomic.Uint64
+	requests *obs.CounterVec
 	// poolSize gauges the live (unretired) partition size per distributor.
-	poolSize map[string]*atomic.Int64
-
-	// probe outcomes.
-	probeOK      atomic.Uint64
-	probeFail    atomic.Uint64
-	probeRetired atomic.Uint64
-
-	// handout latency histogram: cumulative bucket counts plus sum/count
-	// (the extra slot is the +Inf overflow bucket).
-	latCounts [numLatencyBuckets + 1]atomic.Uint64
-	latSum    atomic.Uint64 // nanoseconds
-	latN      atomic.Uint64
+	poolSize *obs.GaugeVec
+	// probe counts probe outcomes.
+	probe *obs.CounterVec
+	// latency is the handout latency histogram, in seconds.
+	latency *obs.Histogram
 }
 
-// NewMetrics returns an empty instrument set.
-func NewMetrics() *Metrics {
-	return &Metrics{
-		requests: make(map[string]*atomic.Uint64),
-		poolSize: make(map[string]*atomic.Int64),
+// NewMetrics returns an instrument set on its own private registry.
+func NewMetrics() *Metrics { return NewMetricsOn(nil) }
+
+// NewMetricsOn builds the instrument set on the given registry (nil: a
+// fresh private one), so a caller that also obs.Enable's the registry
+// gets the engine counter families on the same /metrics page.
+func NewMetricsOn(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	m := &Metrics{
+		reg: reg,
+		requests: reg.CounterVec("i2pdistribd_requests_total",
+			"Handout requests by distributor and status code.", "dist", "code"),
+		poolSize: reg.GaugeVec("i2pdistribd_pool_size",
+			"Live (unretired) partition size per distributor.", "dist"),
+		probe: reg.CounterVec("i2pdistribd_probe_total",
+			"Reachability probe outcomes.", "outcome"),
+		latency: reg.Histogram("i2pdistribd_handout_latency_seconds",
+			"Handout request latency.", latencyBuckets),
+	}
+	for _, o := range probeOutcomes {
+		m.probe.With(o)
+	}
+	return m
 }
+
+// Registry returns the registry backing the instrument set.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // ObserveRequest records one handout request's distributor, status code
-// and latency. The label set is tiny (distributor x status code), so the
-// lock effectively only guards a counter's first use.
+// and latency.
 func (m *Metrics) ObserveRequest(dist string, code int, nanos int64) {
-	key := fmt.Sprintf("dist=%q,code=\"%d\"", dist, code)
-	m.mu.Lock()
-	c, ok := m.requests[key]
-	if !ok {
-		c = new(atomic.Uint64)
-		m.requests[key] = c
-	}
-	m.mu.Unlock()
-	c.Add(1)
-
-	secs := float64(nanos) / 1e9
-	i := sort.SearchFloat64s(latencyBuckets[:], secs)
-	m.latCounts[i].Add(1)
-	m.latSum.Add(uint64(nanos))
-	m.latN.Add(1)
+	m.requests.With(dist, strconv.Itoa(code)).Inc()
+	m.latency.Observe(float64(nanos) / 1e9)
 }
 
 // SetPoolSize gauges a distributor's live partition size.
 func (m *Metrics) SetPoolSize(dist string, n int) {
-	m.mu.Lock()
-	g, ok := m.poolSize[dist]
-	if !ok {
-		g = new(atomic.Int64)
-		m.poolSize[dist] = g
-	}
-	m.mu.Unlock()
-	g.Store(int64(n))
+	m.poolSize.With(dist).Set(int64(n))
 }
 
-// ObserveProbe records one probe outcome ("ok", "fail") or a retirement.
+// ObserveProbe records one probe outcome ("ok", "fail", "panic") or a
+// retirement.
 func (m *Metrics) ObserveProbe(outcome string) {
-	switch outcome {
-	case "ok":
-		m.probeOK.Add(1)
-	case "fail":
-		m.probeFail.Add(1)
-	case "retired":
-		m.probeRetired.Add(1)
-	}
+	m.probe.With(outcome).Inc()
 }
 
-// Render writes the instrument set in the Prometheus text exposition
-// format, labels sorted for a stable output.
-func (m *Metrics) Render() string {
-	var b strings.Builder
-
-	m.mu.Lock()
-	reqKeys := make([]string, 0, len(m.requests))
-	for k := range m.requests {
-		reqKeys = append(reqKeys, k)
-	}
-	poolKeys := make([]string, 0, len(m.poolSize))
-	for k := range m.poolSize {
-		poolKeys = append(poolKeys, k)
-	}
-	m.mu.Unlock()
-	sort.Strings(reqKeys)
-	sort.Strings(poolKeys)
-
-	b.WriteString("# HELP i2pdistribd_requests_total Handout requests by distributor and status code.\n")
-	b.WriteString("# TYPE i2pdistribd_requests_total counter\n")
-	for _, k := range reqKeys {
-		fmt.Fprintf(&b, "i2pdistribd_requests_total{%s} %d\n", k, m.requests[k].Load())
-	}
-
-	b.WriteString("# HELP i2pdistribd_pool_size Live (unretired) partition size per distributor.\n")
-	b.WriteString("# TYPE i2pdistribd_pool_size gauge\n")
-	for _, k := range poolKeys {
-		fmt.Fprintf(&b, "i2pdistribd_pool_size{dist=%q} %d\n", k, m.poolSize[k].Load())
-	}
-
-	b.WriteString("# HELP i2pdistribd_probe_total Reachability probe outcomes.\n")
-	b.WriteString("# TYPE i2pdistribd_probe_total counter\n")
-	fmt.Fprintf(&b, "i2pdistribd_probe_total{outcome=\"ok\"} %d\n", m.probeOK.Load())
-	fmt.Fprintf(&b, "i2pdistribd_probe_total{outcome=\"fail\"} %d\n", m.probeFail.Load())
-	fmt.Fprintf(&b, "i2pdistribd_probe_total{outcome=\"retired\"} %d\n", m.probeRetired.Load())
-
-	b.WriteString("# HELP i2pdistribd_handout_latency_seconds Handout request latency.\n")
-	b.WriteString("# TYPE i2pdistribd_handout_latency_seconds histogram\n")
-	cum := uint64(0)
-	for i, ub := range latencyBuckets {
-		cum += m.latCounts[i].Load()
-		fmt.Fprintf(&b, "i2pdistribd_handout_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
-	}
-	cum += m.latCounts[len(latencyBuckets)].Load()
-	fmt.Fprintf(&b, "i2pdistribd_handout_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(&b, "i2pdistribd_handout_latency_seconds_sum %g\n", float64(m.latSum.Load())/1e9)
-	fmt.Fprintf(&b, "i2pdistribd_handout_latency_seconds_count %d\n", m.latN.Load())
-
-	return b.String()
-}
+// Render writes the registry in the Prometheus text exposition format —
+// every family on the backing registry, so a shared registry surfaces
+// the engine counters here too.
+func (m *Metrics) Render() string { return m.reg.RenderText() }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"github.com/i2pstudy/i2pstudy/internal/distrib"
@@ -55,8 +56,17 @@ func (s *Service) ProbeOnce(ctx context.Context) {
 			if due, ok := s.nextDue[r.Peer]; ok && now.Before(due) {
 				continue // still backing off from the last failure
 			}
-			if err := s.cfg.Probe(r); err != nil {
-				s.metrics.ObserveProbe("fail")
+			if err, panicked := s.runProbe(r); err != nil {
+				// A panicking ProbeFunc is a prober bug, not a dead
+				// bridge; it gets its own outcome label so dashboards
+				// can tell the two apart, but still counts toward the
+				// streak — a probe that cannot complete tells us nothing
+				// good about the bridge.
+				if panicked {
+					s.metrics.ObserveProbe("panic")
+				} else {
+					s.metrics.ObserveProbe("fail")
+				}
 				s.streaks[r.Peer]++
 				// Exponential backoff: 1x, 2x, 4x ... ProbeBackoff per
 				// consecutive failure, so a flapping bridge is retried
@@ -85,4 +95,18 @@ func (s *Service) ProbeOnce(ctx context.Context) {
 			s.metrics.ObserveProbe("fail")
 		}
 	}
+}
+
+// runProbe invokes the configured ProbeFunc with a recovery guard: a
+// panic becomes an error plus a panicked flag, so one broken probe
+// implementation cannot take down the whole loop and the outcome is
+// counted under its own label.
+func (s *Service) runProbe(r distrib.Resource) (err error, panicked bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("service: probe panicked: %v", v)
+			panicked = true
+		}
+	}()
+	return s.cfg.Probe(r), false
 }

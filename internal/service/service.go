@@ -31,6 +31,7 @@ import (
 	"github.com/i2pstudy/i2pstudy/internal/censor"
 	"github.com/i2pstudy/i2pstudy/internal/distrib"
 	"github.com/i2pstudy/i2pstudy/internal/netdb"
+	"github.com/i2pstudy/i2pstudy/internal/obs"
 	"github.com/i2pstudy/i2pstudy/internal/reseed"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 )
@@ -74,6 +75,12 @@ type Config struct {
 
 	// Now overrides the clock for tests (nil: time.Now).
 	Now func() time.Time
+
+	// Registry is the obs registry the instrument set lives on (nil: a
+	// fresh private one). cmd/i2pdistribd passes the registry it
+	// obs.Enable'd, so /metrics carries the engine counter families
+	// (i2p_engine_*, i2p_cache_*) next to the handout series.
+	Registry *obs.Registry
 }
 
 func (cfg Config) withDefaults() Config {
@@ -133,6 +140,9 @@ type Service struct {
 	// prober state, owned by the probe loop.
 	streaks map[int]int
 	nextDue map[int]time.Time
+
+	// started stamps construction time for /healthz uptime.
+	started time.Time
 }
 
 // NewService draws the day's pool and builds the serving state.
@@ -157,10 +167,11 @@ func NewService(network *sim.Network, cfg Config) (*Service, error) {
 		backend: backend,
 		api:     api,
 		ix:      censor.IndexFor(network),
-		metrics: NewMetrics(),
+		metrics: NewMetricsOn(cfg.Registry),
 		limiter: NewLimiter(cfg.RatePerSec, cfg.Burst, cfg.Now),
 		streaks: make(map[int]int),
 		nextDue: make(map[int]time.Time),
+		started: cfg.Now(),
 	}
 	s.blacklist = NewBlacklist(s.ix)
 	if cfg.Probe == nil {

@@ -3,10 +3,17 @@ package sim
 import (
 	"math"
 	"math/rand/v2"
-	"sync"
 
+	"github.com/i2pstudy/i2pstudy/internal/cache"
 	"github.com/i2pstudy/i2pstudy/internal/netdb"
 )
+
+// The observer draw memo reports cache traffic under this ring name;
+// pre-registering keeps the series visible (at zero) from the moment a
+// registry is enabled.
+const observeMemoRing = "observe_day"
+
+func init() { cache.PreRegisterRing(observeMemoRing) }
 
 // ObservationParams are the constants of the observation model. An
 // observer o sees peer p on a given day with probability
@@ -85,14 +92,6 @@ const MaxSharedKBps = 8192
 // — draws are pure in (seed, day), so eviction can never change a result.
 const observeMemoCap = 128
 
-// memoEntry is one memoized day's draw. The once gate lets concurrent
-// first callers share a single draw without any observer-level lock
-// during the computation.
-type memoEntry struct {
-	once sync.Once
-	idxs []int
-}
-
 // Observer is an instantiated measurement router on a network.
 //
 // Every observation method derives a private RNG from (Seed, day), so
@@ -108,13 +107,11 @@ type Observer struct {
 	Cfg ObserverConfig
 	net *Network
 
-	// memo caches ObserveDay results keyed by day. Hits are lock-free;
-	// residency is bounded by a FIFO ring of memoized days (mu guards the
-	// ring only, so insertion-order eviction never contends with hits).
-	memo    sync.Map // int -> *memoEntry
-	mu      sync.Mutex
-	ring    []int // circular buffer of memoized days, len <= observeMemoCap
-	ringPos int
+	// memo caches ObserveDay results keyed by day: lock-free hits,
+	// FIFO-ring residency bounded at observeMemoCap. The pattern this
+	// field pioneered inline now lives in cache.DayMemo, shared with the
+	// censor's victim views and the distrib owner epochs.
+	memo cache.DayMemo[[]int]
 }
 
 // NewObserver attaches an observer to the network. Bandwidth is clamped to
@@ -126,7 +123,11 @@ func (n *Network) NewObserver(cfg ObserverConfig) *Observer {
 	if cfg.SharedKBps > MaxSharedKBps {
 		cfg.SharedKBps = MaxSharedKBps
 	}
-	return &Observer{Cfg: cfg, net: n}
+	return &Observer{
+		Cfg:  cfg,
+		net:  n,
+		memo: cache.DayMemo[[]int]{Cap: observeMemoCap, Ring: observeMemoRing},
+	}
 }
 
 // tunnelFactor returns the tunnel-channel intensity for the observer's
@@ -193,35 +194,7 @@ func (o *Observer) dayRNG(day int) *rand.Rand {
 // a shared slice and must not modify it. After an eviction a revisited
 // day is redrawn to an identical — though distinct — slice.
 func (o *Observer) ObserveDay(day int) []int {
-	// Hit path: lock-free, exactly like the unbounded sync.Map memo was —
-	// sweeps hammering resident (observer, day) cells never serialize.
-	if v, ok := o.memo.Load(day); ok {
-		e := v.(*memoEntry)
-		e.once.Do(func() { e.idxs = o.observeDay(day) })
-		return e.idxs
-	}
-	e := &memoEntry{}
-	if v, loaded := o.memo.LoadOrStore(day, e); loaded {
-		e = v.(*memoEntry)
-	} else {
-		// This goroutine inserted the entry: record the day in the ring,
-		// evicting insertion-order when full. Evicting an entry another
-		// goroutine still holds is benign — its draw completes and is
-		// simply recomputed on the day's next visit.
-		o.mu.Lock()
-		if len(o.ring) < observeMemoCap {
-			o.ring = append(o.ring, day)
-		} else {
-			o.memo.Delete(o.ring[o.ringPos])
-			o.ring[o.ringPos] = day
-			o.ringPos = (o.ringPos + 1) % observeMemoCap
-		}
-		o.mu.Unlock()
-	}
-	// The draw runs outside any observer lock so distinct days never
-	// serialize; concurrent callers of one day share the entry's once.
-	e.once.Do(func() { e.idxs = o.observeDay(day) })
-	return e.idxs
+	return o.memo.Get(day, o.observeDay)
 }
 
 // observeDay performs the actual (seed, day)-deterministic draw.

@@ -131,16 +131,11 @@ func TestObserveDayMemoBounded(t *testing.T) {
 	for d := 0; d < 3*observeMemoCap; d++ {
 		o.ObserveDay(d)
 	}
-	entries := 0
-	o.memo.Range(func(any, any) bool { entries++; return true })
-	o.mu.Lock()
-	ringLen := len(o.ring)
-	o.mu.Unlock()
-	if entries > observeMemoCap || ringLen != entries {
-		t.Fatalf("memo holds %d entries (ring %d), cap %d", entries, ringLen, observeMemoCap)
+	if resident := o.memo.Resident(); resident > observeMemoCap {
+		t.Fatalf("memo holds %d entries, cap %d", resident, observeMemoCap)
 	}
 	// Day 4 was evicted; the redraw must be identical (pure in seed, day).
-	if _, resident := o.memo.Load(4); resident {
+	if _, resident := o.memo.Peek(4); resident {
 		t.Fatal("day 4 survived 3x-capacity insertions")
 	}
 	if got := o.ObserveDay(4); !reflect.DeepEqual(got, first) {

@@ -192,11 +192,36 @@ run_service() {
   cat "$out"
 }
 
+# snapshot_counters OUT — splice scheduler/cache counter totals from one
+# small instrumented sweep (scripts/obssnap) into OUT, just before the
+# "cores" field. The counters ride next to the ns/op numbers so a perf
+# move comes with its explanation (steal rate up, cache gone cold);
+# bench_compare.sh diffs them warn-only like every other field. The
+# snapshot is run once and reused across files.
+obssnap_fields=""
+snapshot_counters() {
+  local out="$1"
+  if [ -z "$obssnap_fields" ]; then
+    local snap
+    snap="$(go run ./scripts/obssnap)"
+    echo "$snap"
+    obssnap_fields="$(echo "$snap" | awk '{printf "  \"%s\": %s,\n", $1, $2}')"
+  fi
+  # $(...) strips the snapshot's trailing newline, so the splice
+  # re-adds it (%s\n) to keep "cores" on its own line.
+  awk -v fields="$obssnap_fields" '
+    /"cores":/ { printf "%s\n", fields }
+    { print }
+  ' "$out" > "$out.tmp" && mv "$out.tmp" "$out"
+  echo "spliced counter snapshot into $out"
+}
+
 run_pair ./internal/measure/ 'BenchmarkCampaign(Serial|Parallel)$' \
   BenchmarkCampaignSerial BenchmarkCampaignParallel campaign-engine "$campaign_out"
 
 run_pair ./internal/censor/ 'BenchmarkFigure13Sweep(Serial|Parallel)$' \
   BenchmarkFigure13SweepSerial BenchmarkFigure13SweepParallel censor-sweep-engine "$censor_out"
+snapshot_counters "$censor_out"
 
 run_pair ./internal/distrib/ 'BenchmarkDistribSweep(Serial|Parallel)$' \
   BenchmarkDistribSweepSerial BenchmarkDistribSweepParallel distrib-sweep-engine "$distrib_out"
@@ -205,5 +230,6 @@ run_pair ./internal/distrib/ 'BenchmarkTrustSweep(Serial|Parallel)$' \
   BenchmarkTrustSweepSerial BenchmarkTrustSweepParallel trust-sweep-engine "$trust_out"
 
 run_rolling "$rolling_out"
+snapshot_counters "$rolling_out"
 
 run_service "$service_out"

@@ -24,11 +24,17 @@ fresh="${2:?usage: bench_compare.sh BASELINE_DIR FRESH_DIR [THRESHOLD_PCT]}"
 thr="${3:-25}"
 
 # fields FILE — emit "key value" for every compared field: *_ns_per_op,
-# *_allocs_per_op, plus the service's p99_latency_ns.
+# *_allocs_per_op, the service's p99_latency_ns, and the scheduler/cache
+# counter snapshots bench.sh splices in (engine_*_total, cache_*_total,
+# windowcounter_*_total) — a steal-rate or cache-miss jump warns just
+# like a ns/op regression, and explains it.
 fields() {
   sed -n -e 's/.*"\([a-z_]*ns_per_op\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
     -e 's/.*"\([a-z_]*allocs_per_op\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
-    -e 's/.*"\(p99_latency_ns\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' "$1"
+    -e 's/.*"\(p99_latency_ns\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
+    -e 's/.*"\(engine_[a-z_]*_total\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
+    -e 's/.*"\(cache_[a-z_]*_total\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
+    -e 's/.*"\(windowcounter_[a-z_]*_total\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' "$1"
 }
 
 # cores_of FILE — the core count the file's numbers were taken on.
@@ -65,14 +71,19 @@ for bf in "$base"/BENCH_*.json; do
       warned=1
       continue
     fi
+    # A zero baseline (common for counter snapshots: no steals, no
+    # evictions) has no meaningful percentage delta; any nonzero fresh
+    # value still warns, flagged as "was zero".
     if awk -v b="$bval" -v f="$fval" -v t="$thr" 'BEGIN { exit !(f > b * (1 + t/100)) }'; then
       awk -v b="$bval" -v f="$fval" -v n="$name" -v k="$key" 'BEGIN {
-        printf "WARN: %s %s regressed: baseline %d, fresh %d (+%.1f%%)\n", n, k, b, f, (f/b - 1) * 100
+        if (b == 0) printf "WARN: %s %s regressed: baseline 0, fresh %d\n", n, k, f
+        else printf "WARN: %s %s regressed: baseline %d, fresh %d (+%.1f%%)\n", n, k, b, f, (f/b - 1) * 100
       }'
       warned=1
     else
       awk -v b="$bval" -v f="$fval" -v n="$name" -v k="$key" 'BEGIN {
-        printf "ok:   %s %s: baseline %d, fresh %d (%+.1f%%)\n", n, k, b, f, (f/b - 1) * 100
+        if (b == 0) printf "ok:   %s %s: baseline 0, fresh %d\n", n, k, f
+        else printf "ok:   %s %s: baseline %d, fresh %d (%+.1f%%)\n", n, k, b, f, (f/b - 1) * 100
       }'
     fi
   done < <(fields "$bf")

@@ -1,0 +1,75 @@
+// Command obssnap runs one small instrumented adversary sweep and
+// prints scheduler/cache counter totals as "key value" lines:
+//
+//	engine_tasks_total 602
+//	engine_steals_total 3
+//	cache_hits_total 120
+//	...
+//
+// scripts/bench.sh splices these into the BENCH_*.json trajectories so
+// the steal rate and cache hit traffic are tracked alongside ns/op —
+// the counters explain a perf move (a splits spike, a cold cache) that
+// the timing numbers alone only show. Worker width follows GOMAXPROCS,
+// matching how the bench jobs pin cores.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"github.com/i2pstudy/i2pstudy/internal/core"
+	"github.com/i2pstudy/i2pstudy/internal/obs"
+	"github.com/i2pstudy/i2pstudy/internal/obs/promtest"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("obssnap: ")
+
+	scale := flag.Float64("scale", 0.02, "network scale for the snapshot sweep")
+	seed := flag.Uint64("seed", 2018, "simulation seed")
+	days := flag.Int("days", 40, "study horizon in days")
+	experiment := flag.String("experiment", "figure-13", "experiment driving the counters")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	obs.Enable(reg)
+
+	opts := core.DefaultOptions()
+	opts.Seed = *seed
+	opts.Days = *days
+	opts.TargetDailyPeers = int(*scale * 30500)
+	study, err := core.NewStudy(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := study.RunAll(context.Background(), *experiment); err != nil {
+		log.Fatal(err)
+	}
+
+	fams, err := promtest.Parse(reg.RenderText())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lines []string
+	for _, f := range fams {
+		// Only the counter totals go into the trajectories; keys drop
+		// the i2p_ prefix to read as plain JSON field names.
+		if f.Type != "counter" || !strings.HasPrefix(f.Name, "i2p_") {
+			continue
+		}
+		var total float64
+		for _, s := range f.Samples {
+			total += s.Value
+		}
+		lines = append(lines, fmt.Sprintf("%s %d", strings.TrimPrefix(f.Name, "i2p_"), int64(total)))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}

@@ -1,0 +1,115 @@
+// Command tracecheck validates a Chrome trace-event JSON file written
+// by the -trace flag (internal/obs.Tracer): the file must be one JSON
+// array; every event needs a phase and a name; complete spans ("X")
+// need non-negative timestamps and durations; and the trace must carry
+// at least one real span, so an accidentally disabled tracer fails the
+// check instead of passing an empty array. Prints a per-phase summary
+// and exits non-zero on any violation — the CI trace-smoke gate.
+//
+// Usage:
+//
+//	tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+// event mirrors the subset of the trace-event format the tracer emits.
+// Args stays map[string]any: span args are integers but metadata ("M")
+// events carry the process/thread names as strings.
+type event struct {
+	Ph   string         `json:"ph"`
+	Name string         `json:"name"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	if len(os.Args) != 2 {
+		log.Fatal("usage: tracecheck trace.json")
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	var events []event
+	if err := json.Unmarshal(data, &events); err != nil {
+		log.Fatalf("%s: not a JSON event array: %v", os.Args[1], err)
+	}
+
+	var errs []string
+	fail := func(i int, format string, args ...any) {
+		errs = append(errs, fmt.Sprintf("event %d: %s", i, fmt.Sprintf(format, args...)))
+	}
+	phases := map[string]int{}
+	spans := map[string]int{}
+	for i, e := range events {
+		phases[e.Ph]++
+		switch e.Ph {
+		case "X":
+			spans[e.Name]++
+			if e.Name == "" {
+				fail(i, "span without a name")
+			}
+			if e.Pid == nil || e.Tid == nil {
+				fail(i, "span %q missing pid/tid", e.Name)
+			}
+			if e.Ts == nil || *e.Ts < 0 {
+				fail(i, "span %q missing or negative ts", e.Name)
+			}
+			if e.Dur == nil || *e.Dur < 0 {
+				fail(i, "span %q missing or negative dur", e.Name)
+			}
+		case "i":
+			if e.Name == "" {
+				fail(i, "instant without a name")
+			}
+			if e.Ts == nil || *e.Ts < 0 {
+				fail(i, "instant %q missing or negative ts", e.Name)
+			}
+		case "M":
+			if e.Name == "" {
+				fail(i, "metadata event without a name")
+			}
+		default:
+			fail(i, "unexpected phase %q", e.Ph)
+		}
+	}
+	if phases["X"] == 0 {
+		errs = append(errs, "no complete spans: the tracer recorded nothing")
+	}
+
+	fmt.Printf("%s: %d events\n", os.Args[1], len(events))
+	for _, ph := range sortedKeys(phases) {
+		fmt.Printf("  phase %-2s %d\n", ph, phases[ph])
+	}
+	for _, name := range sortedKeys(spans) {
+		fmt.Printf("  span  %-6s %d\n", name, spans[name])
+	}
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "tracecheck: "+e)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("ok")
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
