@@ -9,11 +9,20 @@
 //	i2pmeasure -cpuprofile cpu.out -memprofile mem.out -experiment figure-05
 //	i2pmeasure -trace trace.json -experiment figure-05   # Perfetto-loadable spans
 //
-// Without -experiment, every measurement experiment runs in order.
-// Experiments and the campaign engine fan out across -workers goroutines
-// (default: one per CPU); results are identical for any worker count.
-// Ctrl-C cancels the run cleanly — snapshot day directories are written
-// atomically, so an interrupted -snapshot-dir never holds a partial day.
+// Without -experiment, every measurement experiment runs in order
+// (comma-separated IDs select a subset). Experiments and the campaign
+// engine fan out across -workers goroutines (default: one per CPU);
+// results are identical for any worker count. Ctrl-C cancels the run
+// cleanly — snapshot day directories are written atomically, so an
+// interrupted -snapshot-dir never holds a partial day.
+//
+// With -checkpoint-dir, finished experiments (and the -snapshot-dir
+// campaign's finished days) are spilled to disk; rerunning with -resume
+// loads finished units instead of recomputing them and produces
+// byte-identical output. A directory holding a previous run's manifest
+// is refused without -resume, and state from a different configuration
+// is refused with a mismatch error. -inject point:N:mode arms a
+// deterministic fault for crash drills (see internal/faults).
 package main
 
 import (
@@ -30,7 +39,9 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/i2pstudy/i2pstudy/internal/checkpoint"
 	"github.com/i2pstudy/i2pstudy/internal/core"
+	"github.com/i2pstudy/i2pstudy/internal/faults"
 	"github.com/i2pstudy/i2pstudy/internal/measure"
 	"github.com/i2pstudy/i2pstudy/internal/obs"
 	"github.com/i2pstudy/i2pstudy/internal/prof"
@@ -52,8 +63,11 @@ func main() {
 	seed := flag.Uint64("seed", 2018, "simulation seed")
 	days := flag.Int("days", 45, "study horizon in days (>= 40)")
 	workers := flag.Int("workers", 0, "engine concurrency (0 = one worker per CPU, 1 = serial)")
-	experiment := flag.String("experiment", "", "run a single experiment by ID")
+	experiment := flag.String("experiment", "", "run specific experiments (comma-separated IDs)")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	checkpointDir := flag.String("checkpoint-dir", "", "spill finished experiments here so an interrupted run can resume")
+	resume := flag.Bool("resume", false, "continue from an existing -checkpoint-dir instead of refusing it")
+	inject := flag.String("inject", "", "arm a deterministic fault: point:N:mode (mode = error|panic|exit)")
 	snapshotDir := flag.String("snapshot-dir", "", "persist daily netDb snapshots (routerInfo-*.dat) under this directory")
 	csvDir := flag.String("csv-dir", "", "write each figure's data series as CSV under this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -68,6 +82,17 @@ func main() {
 			fmt.Printf("%-22s %-11s %s\n", e.ID, e.Category, e.Title)
 		}
 		return
+	}
+
+	if *inject != "" {
+		inj, err := faults.Parse(*inject)
+		if err != nil {
+			log.Fatal(err)
+		}
+		faults.Enable(faults.New(inj))
+	}
+	if *checkpointDir != "" && !*resume && checkpoint.Exists(*checkpointDir) {
+		log.Fatalf("%s holds a previous run's checkpoint; pass -resume to continue it (or point -checkpoint-dir elsewhere)", *checkpointDir)
 	}
 
 	stopProf, err := prof.StartOptions(prof.Options{
@@ -103,6 +128,7 @@ func main() {
 	opts.Days = *days
 	opts.TargetDailyPeers = int(*scale * 30500)
 	opts.Workers = *workers
+	opts.CheckpointDir = *checkpointDir
 	study, err := core.NewStudy(opts)
 	if err != nil {
 		log.Fatal(err)
@@ -111,14 +137,21 @@ func main() {
 		opts.TargetDailyPeers, *scale, opts.Days, opts.Seed, study.Workers())
 
 	if *snapshotDir != "" {
-		if err := writeSnapshots(ctx, study, *snapshotDir); err != nil {
+		// The snapshot campaign checkpoints under its own subdirectory:
+		// it is a different engine with its own manifest, which cannot
+		// share the experiment store's directory.
+		campaignCkpt := ""
+		if *checkpointDir != "" {
+			campaignCkpt = filepath.Join(*checkpointDir, "campaign")
+		}
+		if err := writeSnapshots(ctx, study, *snapshotDir, campaignCkpt); err != nil {
 			fatal(err)
 		}
 	}
 
 	ids := measurementIDs()
 	if *experiment != "" {
-		ids = []string{*experiment}
+		ids = strings.Split(*experiment, ",")
 	}
 	sorted := append([]string(nil), ids...)
 	sort.Strings(sorted)
@@ -153,13 +186,14 @@ func fatal(err error) {
 
 // writeSnapshots runs a short 3-observer campaign with disk snapshots to
 // demonstrate the netDb-directory watching workflow of Section 4.3.
-func writeSnapshots(ctx context.Context, study *core.Study, dir string) error {
+func writeSnapshots(ctx context.Context, study *core.Study, dir, checkpointDir string) error {
 	c, err := measure.NewCampaign(study.Net, measure.CampaignConfig{
-		Observers:   measure.DefaultObserverFleet(3),
-		StartDay:    0,
-		EndDay:      3,
-		SnapshotDir: dir,
-		Workers:     study.Workers(),
+		Observers:     measure.DefaultObserverFleet(3),
+		StartDay:      0,
+		EndDay:        3,
+		SnapshotDir:   dir,
+		Workers:       study.Workers(),
+		CheckpointDir: checkpointDir,
 	})
 	if err != nil {
 		return err

@@ -13,10 +13,31 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/i2pstudy/i2pstudy/internal/checkpoint"
+	"github.com/i2pstudy/i2pstudy/internal/faults"
 	"github.com/i2pstudy/i2pstudy/internal/measure"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 	"github.com/i2pstudy/i2pstudy/internal/stats"
 )
+
+// runAllVersion is RunAll's checkpoint-format version; bump it when the
+// Result encoding or the unit keying changes.
+const runAllVersion = 1
+
+// checkpointManifest identifies this study for resume purposes. The
+// experiment set is not hashed: units are keyed by experiment ID, so
+// running different subsets against one directory is safe and useful.
+func (s *Study) checkpointManifest() checkpoint.Manifest {
+	h := checkpoint.NewHasher()
+	measure.HashNetwork(h, s.Net)
+	h.Int(s.Opts.MainFleetSize)
+	return checkpoint.Manifest{
+		Engine:     "core.Study.RunAll",
+		Version:    runAllVersion,
+		ConfigHash: h.Sum(),
+		Seed:       s.Opts.Seed,
+	}
+}
 
 // Options configures a Study.
 type Options struct {
@@ -36,6 +57,14 @@ type Options struct {
 	// Zero or negative selects one worker per CPU; 1 forces the serial
 	// reference path. Results are identical for every worker count.
 	Workers int
+	// CheckpointDir, when non-empty, persists each finished experiment's
+	// Result so an interrupted RunAll resumes by loading completed
+	// experiments instead of re-running them. The directory is keyed by
+	// a manifest over (seed, network shape, fleet size, engine version);
+	// resuming against state from a different study fails with a
+	// *checkpoint.MismatchError. Workers is excluded from the key — a
+	// study may resume at any width.
+	CheckpointDir string
 }
 
 // DefaultOptions returns the 1/10-scale configuration used by tests and
@@ -271,6 +300,18 @@ func (s *Study) RunAll(ctx context.Context, ids ...string) ([]*Result, error) {
 		exps[i] = e
 	}
 
+	// With a checkpoint directory, completed experiments load from disk
+	// instead of re-running. Units are keyed by experiment ID, so the
+	// requested subset (and its order) is free to differ between runs.
+	var store *checkpoint.Store
+	if s.Opts.CheckpointDir != "" {
+		var err error
+		store, err = checkpoint.Open(s.Opts.CheckpointDir, s.checkpointManifest())
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	workers := s.Workers()
 	if workers > len(exps) {
 		workers = len(exps)
@@ -281,6 +322,17 @@ func (s *Study) RunAll(ctx context.Context, ids ...string) ([]*Result, error) {
 	results := make([]*Result, len(exps))
 	tasks := make(chan int, len(exps))
 	for i := range exps {
+		if store != nil {
+			var res Result
+			ok, err := store.LoadJSON("exp-"+exps[i].ID, &res)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				results[i] = &res
+				continue
+			}
+		}
 		tasks <- i
 	}
 	close(tasks)
@@ -305,6 +357,18 @@ func (s *Study) RunAll(ctx context.Context, ids ...string) ([]*Result, error) {
 				switch {
 				case err == nil:
 					results[i] = res
+					if store != nil {
+						if err := store.SaveJSON("exp-"+exps[i].ID, res); err != nil {
+							fail(err)
+							continue
+						}
+					}
+					// A finished experiment is a fault boundary: an injected
+					// crash here leaves the unit committed, which is exactly
+					// what the resume goldens exercise.
+					if err := faults.Hit("core.runall.experiment"); err != nil {
+						fail(fmt.Errorf("%s: %w", exps[i].ID, err))
+					}
 				case errors.Is(err, context.Canceled) && cctx.Err() != nil:
 					// Cancellation fallout from the parent ctx or from a
 					// peer experiment's failure; the root cause is

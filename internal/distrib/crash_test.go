@@ -1,0 +1,50 @@
+package distrib
+
+import (
+	"context"
+	"testing"
+
+	"github.com/i2pstudy/i2pstudy/internal/measure/enginetest"
+)
+
+// TestCrashResume is the distrib engines' crash-safety golden, stated
+// through the shared harness: a run killed by an injected fault and
+// resumed from its checkpoint directory yields results byte-identical
+// to an uninterrupted run, at every ladder width, with obs enabled. The
+// arms-race sweep checkpoints at cell granularity; the trust sweep at
+// row granularity (a partial trust row would have to replay anyway).
+func TestCrashResume(t *testing.T) {
+	n := network(t)
+	enginetest.CrashResume(t, 2018, []enginetest.CrashCase{
+		{
+			Name:  "arms-race",
+			Point: "distrib.sweep.cell",
+			Run: func(t testing.TB, dir string, workers int) (any, error) {
+				sw, err := NewSweep(n, testSweepConfig(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sw.RunCheckpointed(context.Background(), dir)
+				if err != nil {
+					return nil, err
+				}
+				return res, nil
+			},
+		},
+		{
+			Name:  "trust-rows",
+			Point: "distrib.trustsweep.cell",
+			Run: func(t testing.TB, dir string, workers int) (any, error) {
+				sw, err := NewTrustSweep(n, testTrustConfig(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sw.RunCheckpointed(context.Background(), dir)
+				if err != nil {
+					return nil, err
+				}
+				return res, nil
+			},
+		},
+	})
+}

@@ -255,20 +255,7 @@ func (s *Sweep) cellSeed(c Cell) uint64 {
 // byte-identical results. The first error (or ctx cancellation) cancels
 // the rest.
 func (s *Sweep) Run(ctx context.Context) ([]CellResult, error) {
-	cells := s.Cells()
-	results := make([]CellResult, len(cells))
-	err := measure.FanOut(ctx, len(cells), s.Cfg.Workers, func(i int) error {
-		res, err := s.runCell(cells[i])
-		if err != nil {
-			return err
-		}
-		results[i] = res
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
+	return s.RunCheckpointed(ctx, "")
 }
 
 // runCell simulates one cell's arms race over the horizon: each day,

@@ -279,27 +279,11 @@ func (s *TrustSweep) rowPlan(cells []TrustCell) measure.RowPlan {
 // byte-identical results; the first error (or ctx cancellation) stops
 // the remaining rows.
 func (s *TrustSweep) Run(ctx context.Context) ([]TrustCellResult, error) {
-	cells := s.Cells()
-	plan := s.rowPlan(cells)
-	// One lazily-built state per plan row: a split row's later segment
-	// gets a fresh state whose advanceTo replays the prefix — the exact
-	// resumability Reference proves — so segments never share state.
-	states := make([]*trustState, len(plan))
-	results := make([]TrustCellResult, len(cells))
-	err := measure.FanRows(ctx, plan, s.Cfg.Workers, func(row, i int) error {
-		c := cells[i]
-		// A row runs sequentially on one worker, so lazy init is safe.
-		if states[row] == nil {
-			states[row] = s.newTrustState(c.Dist, c.Enum)
-		}
-		states[row].advanceTo(c.Day)
-		results[i] = states[row].result(c)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
+	// One lazily-built state per plan row (see RunCheckpointed): a split
+	// row's later segment gets a fresh state whose advanceTo replays the
+	// prefix — the exact resumability Reference proves — so segments
+	// never share state.
+	return s.RunCheckpointed(ctx, "")
 }
 
 // Reference replays one cell from scratch: a fresh trustState advanced

@@ -6,10 +6,13 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/i2pstudy/i2pstudy/internal/checkpoint"
+	"github.com/i2pstudy/i2pstudy/internal/faults"
 	"github.com/i2pstudy/i2pstudy/internal/geo"
 	"github.com/i2pstudy/i2pstudy/internal/netdb"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
@@ -37,6 +40,15 @@ type CampaignConfig struct {
 	// the merge tie-breaks by observer order, exactly as the serial loop
 	// does.
 	Workers int
+	// CheckpointDir, when non-empty, spills each completed day's merged
+	// observations to a checkpoint.Store so an interrupted campaign
+	// resumes by loading finished days instead of recomputing them. The
+	// directory is keyed by a manifest (network + fleet config hash,
+	// seed, engine version); resuming against state from a different run
+	// fails with a *checkpoint.MismatchError. Because accumulation
+	// always proceeds in ascending day order, a resumed run's Dataset is
+	// byte-identical to an uninterrupted one at any Workers value.
+	CheckpointDir string
 }
 
 // DefaultObserverFleet returns the paper's main fleet: count observers at
@@ -98,12 +110,27 @@ func (c *Campaign) Run() (*Dataset, error) {
 // order, so the resulting Dataset is identical to the serial path's.
 func (c *Campaign) RunContext(ctx context.Context) (*Dataset, error) {
 	ds := NewDataset(c.cfg.StartDay, c.cfg.EndDay)
+	snap, err := c.newSnapshotter()
+	if err != nil {
+		return nil, err
+	}
+	var store *checkpoint.Store
+	from := c.cfg.StartDay
+	if c.cfg.CheckpointDir != "" {
+		store, err = checkpoint.Open(c.cfg.CheckpointDir, c.checkpointManifest())
+		if err != nil {
+			return nil, err
+		}
+		from, err = c.resume(ds, snap, store)
+		if err != nil {
+			return nil, err
+		}
+	}
 	workers := resolveWorkers(c.cfg.Workers)
-	var err error
 	if workers <= 1 {
-		err = c.runSerial(ctx, ds)
+		err = c.runSerial(ctx, ds, snap, store, from)
 	} else {
-		err = c.runParallel(ctx, ds, workers)
+		err = c.runParallel(ctx, ds, snap, store, from, workers)
 	}
 	if err != nil {
 		return nil, err
@@ -111,20 +138,70 @@ func (c *Campaign) RunContext(ctx context.Context) (*Dataset, error) {
 	return ds, nil
 }
 
+// resume folds previously checkpointed days into ds and returns the
+// first day still to compute. Days are committed strictly in ascending
+// order (both run paths accumulate that way), so checkpointed days form
+// a contiguous prefix; a stray later unit — possible only if a past run
+// used a different day range, which the manifest hash already refuses —
+// is simply recomputed and overwritten.
+func (c *Campaign) resume(ds *Dataset, snap *snapshotter, store *checkpoint.Store) (int, error) {
+	db := c.net.GeoDB()
+	day := c.cfg.StartDay
+	for ; day < c.cfg.EndDay; day++ {
+		data, ok, err := store.Load(dayKey(day))
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		merged, err := decodeDayUnit(data)
+		if err != nil {
+			return 0, err
+		}
+		shards := []map[netdb.Hash]*netdb.RouterInfo{merged}
+		c.accumulateDay(ds, db, day, shards)
+		// Re-write the snapshot so resumed runs leave the same SnapshotDir
+		// an uninterrupted run would (cheap, idempotent, atomic).
+		if err := snap.write(day, shards); err != nil {
+			return 0, err
+		}
+	}
+	return day, nil
+}
+
+// commitDay finalizes one computed day: fold into the Dataset, persist
+// the netDb snapshot, spill the checkpoint unit, and cross the fault
+// boundary. The checkpoint write comes last of the persistence steps,
+// so a unit on disk guarantees the snapshot for that day is complete.
+func (c *Campaign) commitDay(ds *Dataset, db *geo.DB, snap *snapshotter, store *checkpoint.Store,
+	day int, shards []map[netdb.Hash]*netdb.RouterInfo) error {
+	c.accumulateDay(ds, db, day, shards)
+	if err := snap.write(day, shards); err != nil {
+		return err
+	}
+	if store != nil {
+		data, err := encodeDayUnit(shards)
+		if err != nil {
+			return err
+		}
+		if err := store.Save(dayKey(day), data); err != nil {
+			return err
+		}
+	}
+	return faults.Hit("measure.campaign.day")
+}
+
 // runSerial is the reference implementation: days in order, observers in
 // order, one merged map per day. The parallel engine must stay
 // byte-identical to it (see TestCampaignParallelMatchesSerial).
-func (c *Campaign) runSerial(ctx context.Context, ds *Dataset) error {
-	snap, err := c.newSnapshotter()
-	if err != nil {
-		return err
-	}
+func (c *Campaign) runSerial(ctx context.Context, ds *Dataset, snap *snapshotter, store *checkpoint.Store, from int) error {
 	db := c.net.GeoDB()
 	// One merge map reused across days: each day starts from an empty map
 	// (the daily netDb cleanup) but keeps the previous day's capacity, so
 	// a long campaign stops paying rehash-and-discard per day.
 	merged := make(map[netdb.Hash]*netdb.RouterInfo)
-	for day := c.cfg.StartDay; day < c.cfg.EndDay; day++ {
+	for day := from; day < c.cfg.EndDay; day++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -140,8 +217,7 @@ func (c *Campaign) runSerial(ctx context.Context, ds *Dataset) error {
 			}
 		}
 		shards := []map[netdb.Hash]*netdb.RouterInfo{merged}
-		c.accumulateDay(ds, db, day, shards)
-		if err := snap.write(day, shards); err != nil {
+		if err := c.commitDay(ds, db, snap, store, day, shards); err != nil {
 			return err
 		}
 	}
@@ -166,14 +242,13 @@ type mergedDay struct {
 //  3. accumulate — a single consumer folds merged days into the Dataset
 //     in ascending day order and writes snapshots, overlapping with
 //     later days' capture and merge work.
-func (c *Campaign) runParallel(ctx context.Context, ds *Dataset, workers int) error {
-	snap, err := c.newSnapshotter()
-	if err != nil {
-		return err
-	}
+func (c *Campaign) runParallel(ctx context.Context, ds *Dataset, snap *snapshotter, store *checkpoint.Store, from, workers int) error {
 	db := c.net.GeoDB()
-	nDays := c.cfg.EndDay - c.cfg.StartDay
+	nDays := c.cfg.EndDay - from
 	nObs := len(c.obs)
+	if nDays <= 0 {
+		return ctx.Err()
+	}
 	shards := mergeShards(workers)
 
 	// captures[d][o][s] holds observer o's day-d records for hash shard s.
@@ -203,7 +278,7 @@ func (c *Campaign) runParallel(ctx context.Context, ds *Dataset, workers int) er
 		// in-order accumulator) first.
 		collectErr <- FanOut(cctx, nDays*nObs, workers, func(t int) error {
 			di, oi := t/nObs, t%nObs
-			day := c.cfg.StartDay + di
+			day := from + di
 			captures[di][oi] = shardCapture(c.obs[oi].CollectDay(day), shards)
 			if pending[di].Add(-1) != 0 {
 				return nil
@@ -238,7 +313,7 @@ func (c *Campaign) runParallel(ctx context.Context, ds *Dataset, workers int) er
 	// In-order accumulator with a reorder buffer: merged days can arrive
 	// out of order, the Dataset fold must not.
 	buffer := make(map[int]*mergedDay, workers)
-	next := c.cfg.StartDay
+	next := from
 	var accErr error
 	for md := range mergedCh {
 		buffer[md.day] = md
@@ -248,8 +323,7 @@ func (c *Campaign) runParallel(ctx context.Context, ds *Dataset, workers int) er
 				break
 			}
 			delete(buffer, next)
-			c.accumulateDay(ds, db, next, m.shards)
-			if err := snap.write(next, m.shards); err != nil {
+			if err := c.commitDay(ds, db, snap, store, next, m.shards); err != nil {
 				accErr = err
 				cancel() // stop the capture pool; drain below
 			}
@@ -387,6 +461,22 @@ func (c *Campaign) newSnapshotter() (*snapshotter, error) {
 	}
 	if err := os.MkdirAll(c.cfg.SnapshotDir, 0o755); err != nil {
 		return nil, fmt.Errorf("measure: snapshot dir: %w", err)
+	}
+	// A crash between stage and rename leaves a ".day-NNN.tmp" staging
+	// dir behind. Sweep them at startup: they are partial by definition
+	// (the rename never happened) and must never be mistaken for — or
+	// left to shadow — a complete day.
+	entries, err := os.ReadDir(c.cfg.SnapshotDir)
+	if err != nil {
+		return nil, fmt.Errorf("measure: snapshot dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ".day-") && strings.HasSuffix(name, ".tmp") {
+			if err := os.RemoveAll(filepath.Join(c.cfg.SnapshotDir, name)); err != nil {
+				return nil, fmt.Errorf("measure: sweeping orphan snapshot %s: %w", name, err)
+			}
+		}
 	}
 	return &snapshotter{c: c, store: netdb.NewStore(false)}, nil
 }

@@ -189,6 +189,61 @@ func TestSnapshotDaysAtomic(t *testing.T) {
 	}
 }
 
+// TestSnapshotterSweepsOrphanedStaging pins the startup-cleanup half of
+// the atomic-snapshot contract: ".day-NNN.tmp" staging dirs left by a
+// crash between stage and rename are removed when the campaign starts —
+// even for days outside the new run's range, which nothing would ever
+// overwrite — and are never mistaken for complete days. Entries that
+// don't match the staging pattern are left alone.
+func TestSnapshotterSweepsOrphanedStaging(t *testing.T) {
+	n := parallelTestNet(t)
+	dir := t.TempDir()
+	// An orphan with partial content, for a day this run won't touch.
+	orphan := filepath.Join(dir, ".day-042.tmp")
+	if err := os.MkdirAll(filepath.Join(orphan, "netDb"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(orphan, "netDb", "routerInfo-junk.dat"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An empty orphan for a day the run will rewrite anyway.
+	if err := os.MkdirAll(filepath.Join(dir, ".day-000.tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Bystanders the sweep must not touch: a complete-looking day from a
+	// past run and an unrelated file.
+	if err := os.MkdirAll(filepath.Join(dir, "day-099"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCampaign(n, CampaignConfig{
+		Observers:   DefaultObserverFleet(2),
+		StartDay:    0,
+		EndDay:      2,
+		SnapshotDir: dir,
+		Workers:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	assertNoPartialSnapshots(t, dir)
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphaned staging dir %s survived startup (err=%v)", orphan, err)
+	}
+	for _, keep := range []string{"day-099", "notes.txt", "day-000", "day-001"} {
+		if _, err := os.Stat(filepath.Join(dir, keep)); err != nil {
+			t.Errorf("startup sweep touched %s: %v", keep, err)
+		}
+	}
+}
+
 func assertNoPartialSnapshots(t *testing.T, dir string) {
 	t.Helper()
 	ents, err := os.ReadDir(dir)

@@ -1,0 +1,39 @@
+package measure
+
+import "sync/atomic"
+
+// Completion tracks when every task of a logical group has finished,
+// across however many plan rows the group was split into. Row plans
+// split rows at cost seams (SplitRows), so "row 3 is done" is no longer
+// "the plan row for 3 returned" — it is "all of row 3's tasks, in
+// whichever segments they landed, completed". Checkpointing engines use
+// a Completion keyed by stable row id to learn, at the moment the last
+// cell of a row finishes, that the row's results are final and may be
+// spilled — on exactly one worker, with the atomic decrement providing
+// the happens-before edge from every other worker's writes to that
+// row's result slots.
+type Completion struct {
+	pending []atomic.Int32
+}
+
+// NewCompletion returns a Completion where group g needs counts[g]
+// Done calls before it completes.
+func NewCompletion(counts []int) *Completion {
+	c := &Completion{pending: make([]atomic.Int32, len(counts))}
+	for g, n := range counts {
+		c.pending[g].Store(int32(n))
+	}
+	return c
+}
+
+// Done records one finished task of group g and reports whether that
+// was the group's last task. Exactly one caller per group observes
+// true; its view of other workers' writes for the group is complete.
+func (c *Completion) Done(g int) bool {
+	return c.pending[g].Add(-1) == 0
+}
+
+// Pending reports how many tasks group g still has outstanding.
+func (c *Completion) Pending(g int) int {
+	return int(c.pending[g].Load())
+}

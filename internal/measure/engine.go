@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/i2pstudy/i2pstudy/internal/faults"
 	"github.com/i2pstudy/i2pstudy/internal/obs"
 	"github.com/i2pstudy/i2pstudy/internal/sim"
 )
@@ -113,6 +114,15 @@ func fanOut(ctx context.Context, n, workers int, spanName string, fn func(tid, i
 	workers = resolveWorkers(workers)
 	if workers > n {
 		workers = n
+	}
+	// Every completed task is a scheduler boundary the fault injector may
+	// target; disabled cost is one atomic load inside faults.Hit.
+	inner := fn
+	fn = func(tid, i int) error {
+		if err := inner(tid, i); err != nil {
+			return err
+		}
+		return faults.Hit("measure.fanout.task")
 	}
 	st := obsStats()
 	tr := obs.ActiveTracer()

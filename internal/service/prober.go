@@ -71,7 +71,15 @@ func (s *Service) ProbeOnce(ctx context.Context) {
 				// Exponential backoff: 1x, 2x, 4x ... ProbeBackoff per
 				// consecutive failure, so a flapping bridge is retried
 				// promptly but a dying one stops burning probe budget.
-				backoff := s.cfg.ProbeBackoff << (s.streaks[r.Peer] - 1)
+				// The exponent is clamped before shifting: past 2^4 the
+				// cap below wins anyway, and a long streak (> 63) would
+				// otherwise overflow the shift into a zero or negative
+				// backoff, turning a dying bridge into a hot probe loop.
+				exp := s.streaks[r.Peer] - 1
+				if exp > 4 {
+					exp = 4
+				}
+				backoff := s.cfg.ProbeBackoff << exp
 				if max := 16 * s.cfg.ProbeBackoff; backoff > max {
 					backoff = max
 				}

@@ -183,6 +183,57 @@ func TestProberRetiresDeadBridge(t *testing.T) {
 	}
 }
 
+// TestProberBackoffClampsOnLongStreaks is the shift-overflow
+// regression: with a FailLimit large enough that a dying bridge keeps
+// failing past 63 consecutive probes, the backoff exponent used to run
+// off the end of time.Duration (ProbeBackoff << 63 wraps negative),
+// which put nextDue in the past and turned the dying bridge into a
+// hot probe loop. The backoff must stay positive and capped at 16x for
+// arbitrarily long streaks.
+func TestProberBackoffClampsOnLongStreaks(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		clk = time.Unix(1700000000, 0)
+	)
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clk }
+	advance := func(d time.Duration) { mu.Lock(); clk = clk.Add(d); mu.Unlock() }
+
+	probe := func(r distrib.Resource) error { return errors.New("probe: connection refused") }
+	svc := newTestService(t, Config{
+		Probe:        probe,
+		Now:          now,
+		FailLimit:    200,
+		ProbeBackoff: time.Second,
+	})
+	ctx := context.Background()
+	peer := svc.Backend().Partition("https").Resources()[0].Peer
+	maxBackoff := 16 * time.Second
+
+	for i := 0; i < 80; i++ {
+		svc.ProbeOnce(ctx)
+		due, ok := svc.nextDue[peer]
+		if !ok {
+			t.Fatalf("probe %d: failure recorded no backoff", i)
+		}
+		backoff := due.Sub(now())
+		if backoff <= 0 {
+			t.Fatalf("probe %d (streak %d): backoff %v is not positive — shift overflow",
+				i, svc.streaks[peer], backoff)
+		}
+		if backoff > maxBackoff {
+			t.Fatalf("probe %d (streak %d): backoff %v exceeds the 16x cap %v",
+				i, svc.streaks[peer], backoff, maxBackoff)
+		}
+		advance(backoff) // land exactly on due: the next sweep re-probes
+	}
+	if got := svc.streaks[peer]; got != 80 {
+		t.Fatalf("streak reached %d, want 80 — the loop stopped probing past the shift width", got)
+	}
+	if svc.Retired(peer) {
+		t.Fatal("bridge retired below FailLimit")
+	}
+}
+
 func containsIdentity(b *reseed.Bundle, id netdb.Hash) bool {
 	for _, rec := range b.Records {
 		if rec.Identity == id {
