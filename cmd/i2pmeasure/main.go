@@ -63,6 +63,7 @@ func main() {
 	seed := flag.Uint64("seed", 2018, "simulation seed")
 	days := flag.Int("days", 45, "study horizon in days (>= 40)")
 	workers := flag.Int("workers", 0, "engine concurrency (0 = one worker per CPU, 1 = serial)")
+	stream := flag.Bool("stream", true, "bounded-memory campaign fold (O(workers) resident day units); -stream=false retains every pending day in memory")
 	experiment := flag.String("experiment", "", "run specific experiments (comma-separated IDs)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	checkpointDir := flag.String("checkpoint-dir", "", "spill finished experiments here so an interrupted run can resume")
@@ -128,6 +129,7 @@ func main() {
 	opts.Days = *days
 	opts.TargetDailyPeers = int(*scale * 30500)
 	opts.Workers = *workers
+	opts.Retain = !*stream
 	opts.CheckpointDir = *checkpointDir
 	study, err := core.NewStudy(opts)
 	if err != nil {
@@ -194,6 +196,7 @@ func writeSnapshots(ctx context.Context, study *core.Study, dir, checkpointDir s
 		SnapshotDir:   dir,
 		Workers:       study.Workers(),
 		CheckpointDir: checkpointDir,
+		Retain:        study.Opts.Retain,
 	})
 	if err != nil {
 		return err

@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // Manifest identifies the run a checkpoint directory belongs to. A
@@ -224,6 +225,21 @@ func validKey(key string) error {
 // writeAtomic stages data as dir/.name.tmp, syncs, and renames it to
 // dir/name — the same commit discipline as measure.snapshotter.
 func writeAtomic(dir, name string, data []byte) error {
+	return WriteFileAtomic(filepath.Join(dir, name), data)
+}
+
+// WriteFileAtomic commits data to path with the package's durability
+// discipline: stage as ".name.tmp" in the destination directory, write,
+// fsync, rename over path, then fsync the directory so the rename itself
+// survives power loss. A crash at any point leaves either the old file,
+// the new file, or a "."-prefixed staging orphan — never a torn write.
+// It is the one atomic-write primitive every artifact writer in the repo
+// (checkpoint units, manifests, campaign summaries) routes through.
+func WriteFileAtomic(path string, data []byte) error {
+	dir, name := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
 	tmp := filepath.Join(dir, "."+name+".tmp")
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -243,9 +259,95 @@ func writeAtomic(dir, name string, data []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making a just-committed rename durable.
+// Without it a power loss can forget the rename while remembering the
+// staged bytes — the "complete file in a directory that never heard of
+// it" failure mode.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("checkpoint: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+// SyncTree fsyncs every regular file and directory under root, bottom
+// up. It is the staging half of the directory-grain commit protocol:
+// write a tree, SyncTree it, rename it into place, SyncDir the parent —
+// after which the rename target is guaranteed to hold complete files
+// even across power loss. File syncs fan out over a small worker pool:
+// a day snapshot holds one file per router and serial fsync would make
+// durability O(peers) in disk round-trips.
+func SyncTree(root string) error {
+	var files []string
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			dirs = append(dirs, path)
+		} else if d.Type().IsRegular() {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("checkpoint: syncing tree %s: %w", root, err)
+	}
+	workers := min(8, max(1, len(files)))
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next := make(chan string, len(files))
+	for _, f := range files {
+		next <- f
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for path := range next {
+				f, err := os.Open(path)
+				if err == nil {
+					err = f.Sync()
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("checkpoint: syncing %s: %w", path, err) })
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	// Directories last, deepest first, so a directory's entries are
+	// durable before the directory itself is.
+	for i := len(dirs) - 1; i >= 0; i-- {
+		if err := SyncDir(dirs[i]); err != nil {
+			return err
+		}
 	}
 	return nil
 }

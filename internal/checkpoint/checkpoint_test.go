@@ -246,3 +246,59 @@ func TestObsCountersTrackSpillAndResume(t *testing.T) {
 		}
 	}
 }
+
+func TestWriteFileAtomicCommitsAndOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "summary.txt")
+	if err := WriteFileAtomic(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("content = %q, want %q", got, "first")
+	}
+	// Overwriting an existing file goes through the same staged commit.
+	if err := WriteFileAtomic(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("content = %q, want %q", got, "second")
+	}
+	// No staging residue either way.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("staging file left behind: %s", e.Name())
+		}
+	}
+	// A relative path with no directory component stages in ".".
+	t.Chdir(dir)
+	if err := WriteFileAtomic("bare.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(filepath.Join(dir, "bare.txt")); string(got) != "x" {
+		t.Fatal("bare-name write missing")
+	}
+}
+
+func TestSyncTreeWalksFilesAndDirs(t *testing.T) {
+	root := t.TempDir()
+	sub := filepath.Join(root, "netDb", "deep")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		name := filepath.Join(sub, "routerInfo-"+strings.Repeat("a", i)+".dat")
+		if err := os.WriteFile(name, []byte("data"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := SyncTree(root); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncTree(filepath.Join(root, "no-such-dir")); err == nil {
+		t.Fatal("SyncTree on a missing root must error")
+	}
+}

@@ -114,7 +114,7 @@ func (ds *Dataset) IPChurnHistogram(maxBucket int) *stats.IntHistogram {
 	}
 	h := stats.NewIntHistogram()
 	for _, t := range ds.Peers {
-		n := len(t.IPs)
+		n := t.IPCount()
 		if n == 0 {
 			continue // unknown-IP peer
 		}
@@ -133,7 +133,7 @@ func (ds *Dataset) IPCountShares() (single, multi, over100 float64) {
 	total := 0
 	s, m, o := 0, 0, 0
 	for _, t := range ds.Peers {
-		n := len(t.IPs)
+		n := t.IPCount()
 		if n == 0 {
 			continue
 		}
@@ -322,7 +322,7 @@ func (ds *Dataset) EstimateFloodfillPopulation() FloodfillEstimate {
 func (ds *Dataset) CountryCounter() *stats.Counter {
 	c := stats.NewCounter()
 	for _, t := range ds.Peers {
-		for cc := range t.Countries {
+		for _, cc := range t.CountryCodes() {
 			c.Inc(cc)
 		}
 	}
@@ -334,7 +334,7 @@ func (ds *Dataset) CountryCounter() *stats.Counter {
 func (ds *Dataset) ASCounter() *stats.Counter {
 	c := stats.NewCounter()
 	for _, t := range ds.Peers {
-		for asn := range t.ASNs {
+		for _, asn := range t.ASNs() {
 			c.Inc(fmt.Sprintf("%d", asn))
 		}
 	}
@@ -355,7 +355,7 @@ type CensoredSummary struct {
 func (ds *Dataset) CensoredPeers(db *geo.DB) CensoredSummary {
 	counts := stats.NewCounter()
 	for _, t := range ds.Peers {
-		for cc := range t.Countries {
+		for _, cc := range t.CountryCodes() {
 			if db.Censored(cc) {
 				counts.Inc(cc)
 			}
@@ -376,7 +376,7 @@ func (ds *Dataset) ASChurnHistogram(maxBucket int) *stats.IntHistogram {
 	}
 	h := stats.NewIntHistogram()
 	for _, t := range ds.Peers {
-		n := len(t.ASNs)
+		n := t.ASCount()
 		if n == 0 {
 			continue
 		}
@@ -393,7 +393,7 @@ func (ds *Dataset) ASChurnHistogram(maxBucket int) *stats.IntHistogram {
 func (ds *Dataset) ASCountShares() (single, over10 float64, maxASes int) {
 	total, s, o := 0, 0, 0
 	for _, t := range ds.Peers {
-		n := len(t.ASNs)
+		n := t.ASCount()
 		if n == 0 {
 			continue
 		}

@@ -3,7 +3,6 @@ package measure
 import (
 	"context"
 	"fmt"
-	"net/netip"
 	"os"
 	"path/filepath"
 	"strings"
@@ -49,6 +48,16 @@ type CampaignConfig struct {
 	// always proceeds in ascending day order, a resumed run's Dataset is
 	// byte-identical to an uninterrupted one at any Workers value.
 	CheckpointDir string
+	// Retain disables the streaming fold: the parallel engine keeps
+	// every pending merged day in memory (an unbounded reorder buffer
+	// and a day-deep channel), as it did before streaming existed. The
+	// zero value streams: completed day units fold into the fixed-size
+	// Dataset accumulators and are dropped immediately, the reorder
+	// buffer is bounded, and units arriving too far out of order are
+	// evicted to the checkpoint layer and reloaded at their fold turn —
+	// campaign memory stays O(workers) day units instead of O(days).
+	// Both modes produce byte-identical Datasets at any Workers value.
+	Retain bool
 }
 
 // DefaultObserverFleet returns the paper's main fleet: count observers at
@@ -71,6 +80,15 @@ type Campaign struct {
 	cfg CampaignConfig
 	net *sim.Network
 	obs []*sim.Observer
+
+	// Retained-unit accounting (see stream.go / MemStats).
+	retained     atomic.Int64
+	peakRetained atomic.Int64
+	evicted      atomic.Int64
+
+	// streamSlack overrides the streaming reorder buffer's bound
+	// (default: one unit per worker). Test hook only.
+	streamSlack int
 }
 
 // NewCampaign validates cfg against the network.
@@ -109,6 +127,9 @@ func (c *Campaign) Run() (*Dataset, error) {
 // snapshotting. Accumulation itself always proceeds in ascending day
 // order, so the resulting Dataset is identical to the serial path's.
 func (c *Campaign) RunContext(ctx context.Context) (*Dataset, error) {
+	c.retained.Store(0)
+	c.peakRetained.Store(0)
+	c.evicted.Store(0)
 	ds := NewDataset(c.cfg.StartDay, c.cfg.EndDay)
 	snap, err := c.newSnapshotter()
 	if err != nil {
@@ -155,15 +176,14 @@ func (c *Campaign) resume(ds *Dataset, snap *snapshotter, store *checkpoint.Stor
 		if !ok {
 			break
 		}
-		merged, err := decodeDayUnit(data)
+		recs, err := decodeDayUnit(data)
 		if err != nil {
 			return 0, err
 		}
-		shards := []map[netdb.Hash]*netdb.RouterInfo{merged}
-		c.accumulateDay(ds, db, day, shards)
+		ds.accumulateDay(db, day, recs)
 		// Re-write the snapshot so resumed runs leave the same SnapshotDir
 		// an uninterrupted run would (cheap, idempotent, atomic).
-		if err := snap.write(day, shards); err != nil {
+		if err := snap.write(day, recs); err != nil {
 			return 0, err
 		}
 	}
@@ -174,14 +194,21 @@ func (c *Campaign) resume(ds *Dataset, snap *snapshotter, store *checkpoint.Stor
 // the netDb snapshot, spill the checkpoint unit, and cross the fault
 // boundary. The checkpoint write comes last of the persistence steps,
 // so a unit on disk guarantees the snapshot for that day is complete.
+// alreadySpilled marks a unit the streaming reorder buffer evicted to
+// the campaign's own checkpoint store before its fold turn: the bytes
+// on disk are identical to what would be written here (same canonical
+// encoding of the same records), so the save is skipped. An evicted
+// unit can land on disk before earlier days have committed, but resume
+// only consumes the contiguous prefix — a stray later unit is simply
+// recomputed and overwritten, exactly as the resume contract documents.
 func (c *Campaign) commitDay(ds *Dataset, db *geo.DB, snap *snapshotter, store *checkpoint.Store,
-	day int, shards []map[netdb.Hash]*netdb.RouterInfo) error {
-	c.accumulateDay(ds, db, day, shards)
-	if err := snap.write(day, shards); err != nil {
+	day int, recs []*netdb.RouterInfo, alreadySpilled bool) error {
+	ds.accumulateDay(db, day, recs)
+	if err := snap.write(day, recs); err != nil {
 		return err
 	}
-	if store != nil {
-		data, err := encodeDayUnit(shards)
+	if store != nil && !alreadySpilled {
+		data, err := encodeDayUnit(recs)
 		if err != nil {
 			return err
 		}
@@ -201,6 +228,7 @@ func (c *Campaign) runSerial(ctx context.Context, ds *Dataset, snap *snapshotter
 	// (the daily netDb cleanup) but keeps the previous day's capacity, so
 	// a long campaign stops paying rehash-and-discard per day.
 	merged := make(map[netdb.Hash]*netdb.RouterInfo)
+	var recs []*netdb.RouterInfo
 	for day := from; day < c.cfg.EndDay; day++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -216,20 +244,37 @@ func (c *Campaign) runSerial(ctx context.Context, ds *Dataset, snap *snapshotter
 				}
 			}
 		}
-		shards := []map[netdb.Hash]*netdb.RouterInfo{merged}
-		if err := c.commitDay(ds, db, snap, store, day, shards); err != nil {
+		// Canonicalize to identity order before folding — the fold order
+		// that makes interned IDs (and checkpoint bytes) deterministic.
+		recs = recs[:0]
+		for _, ri := range merged {
+			recs = append(recs, ri)
+		}
+		sortByIdentity(recs)
+		// The serial path is already streaming by construction: exactly
+		// one day unit is resident at a time, and it is dropped (the
+		// slice reused) as soon as it is folded and spilled.
+		b := unitBytes(recs)
+		c.retainUnit(b)
+		err := c.commitDay(ds, db, snap, store, day, recs, false)
+		c.releaseUnit(b, false)
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// mergedDay is one day's deduplicated observations, split into hash
-// shards so the merge can proceed in parallel. Shard layout never affects
-// the Dataset: accumulation is commutative across records within a day.
+// mergedDay is one day's deduplicated observations in canonical
+// (identity-sorted) order — the one fold order both run paths share, so
+// interned IDs and checkpoint bytes never depend on shard layout or map
+// iteration order.
 type mergedDay struct {
-	day    int
-	shards []map[netdb.Hash]*netdb.RouterInfo
+	day  int
+	recs []*netdb.RouterInfo
+	// bytes is the unit's estimated resident size (see unitBytes),
+	// carried so release accounting matches retain accounting exactly.
+	bytes int64
 }
 
 // runParallel is the concurrent campaign engine. Three overlapping stages:
@@ -258,15 +303,31 @@ func (c *Campaign) runParallel(ctx context.Context, ds *Dataset, snap *snapshott
 		captures[d] = make([][][]*netdb.RouterInfo, nObs)
 		pending[d].Store(int32(nObs))
 	}
-	mergedCh := make(chan *mergedDay, nDays)
+	// Streaming bounds the pipeline at both ends: the merged-day channel
+	// holds at most one unit per worker (a worker that races too far
+	// ahead of the fold blocks on send, throttling capture), and the
+	// reorder buffer holds at most slack units before evicting to the
+	// checkpoint layer. Together they cap resident day units at
+	// 2*workers + slack + 1 regardless of campaign length. Retained mode
+	// keeps the old day-deep channel and unbounded buffer.
+	streaming := !c.cfg.Retain
+	chCap, slack := nDays, 0
+	if streaming {
+		chCap = workers
+		slack = c.streamSlack
+		if slack <= 0 {
+			slack = workers
+		}
+	}
+	mergedCh := make(chan *mergedDay, chCap)
 
-	// Shard maps are recycled across days: the accumulator clears and
-	// returns each consumed day's maps to the pool, so at steady state the
-	// engine holds roughly (in-flight days x shards) maps instead of
-	// allocating one set per day — the difference between O(days) and
-	// O(workers) map churn at 30K+ peers. Recycling cannot affect results:
-	// a map is only returned after accumulateDay and the snapshot write
-	// are both done with it.
+	// Shard maps are recycled across days: the merge stage flattens each
+	// day into a sorted record slice and immediately clears and returns
+	// its maps to the pool, so at steady state the engine holds roughly
+	// (in-flight days x shards) maps instead of allocating one set per
+	// day — the difference between O(days) and O(workers) map churn at
+	// 30K+ peers. Recycling cannot affect results: the flatten copies the
+	// record pointers out before the map is reused.
 	mapPool := sync.Pool{New: func() any { return make(map[netdb.Hash]*netdb.RouterInfo) }}
 
 	cctx, cancel := context.WithCancel(ctx)
@@ -284,7 +345,7 @@ func (c *Campaign) runParallel(ctx context.Context, ds *Dataset, snap *snapshott
 				return nil
 			}
 			// Last capture for this day: merge its shards in parallel.
-			md := &mergedDay{day: day, shards: make([]map[netdb.Hash]*netdb.RouterInfo, shards)}
+			mergedShards := make([]map[netdb.Hash]*netdb.RouterInfo, shards)
 			var wg sync.WaitGroup
 			for s := 0; s < shards; s++ {
 				wg.Add(1)
@@ -299,39 +360,74 @@ func (c *Campaign) runParallel(ctx context.Context, ds *Dataset, snap *snapshott
 							}
 						}
 					}
-					md.shards[s] = m
+					mergedShards[s] = m
 				}(s)
 			}
 			wg.Wait()
 			captures[di] = nil // day fully merged; release the raw captures
+			// Flatten to the canonical identity-sorted slice off the
+			// accumulator's critical path, recycling the shard maps now.
+			n := 0
+			for _, m := range mergedShards {
+				n += len(m)
+			}
+			recs := make([]*netdb.RouterInfo, 0, n)
+			for _, m := range mergedShards {
+				for _, ri := range m {
+					recs = append(recs, ri)
+				}
+				clear(m)
+				mapPool.Put(m)
+			}
+			sortByIdentity(recs)
+			md := &mergedDay{day: day, recs: recs, bytes: unitBytes(recs)}
+			c.retainUnit(md.bytes)
 			mergedCh <- md
 			return nil
 		})
 		close(mergedCh)
 	}()
 
-	// In-order accumulator with a reorder buffer: merged days can arrive
-	// out of order, the Dataset fold must not.
-	buffer := make(map[int]*mergedDay, workers)
+	// In-order accumulator over the (bounded, in streaming mode) reorder
+	// buffer: merged days can arrive out of order, the Dataset fold must
+	// not. Each unit is folded into the fixed-size accumulators and
+	// dropped — or evicted to the checkpoint layer and reloaded at its
+	// turn — so the buffer never blocks and the channel always drains.
+	buffer := newDayBuffer(c, store, slack)
+	defer buffer.close()
 	next := from
 	var accErr error
 	for md := range mergedCh {
-		buffer[md.day] = md
+		if accErr != nil {
+			c.releaseUnit(md.bytes, false)
+			continue // failing already; drain the channel
+		}
+		if err := buffer.put(md); err != nil {
+			accErr = err
+			cancel()
+			continue
+		}
 		for accErr == nil {
-			m, ok := buffer[next]
+			m, reloaded, ok, err := buffer.take(next)
+			if err != nil {
+				accErr = err
+				cancel()
+				break
+			}
 			if !ok {
 				break
 			}
-			delete(buffer, next)
-			if err := c.commitDay(ds, db, snap, store, next, m.shards); err != nil {
+			if err := c.commitDay(ds, db, snap, store, next, m.recs, buffer.inCampaignStore(reloaded)); err != nil {
 				accErr = err
 				cancel() // stop the capture pool; drain below
 			}
-			for _, shard := range m.shards {
-				clear(shard)
-				mapPool.Put(shard)
+			m.recs = nil // folded and spilled; drop the raw records
+			if !reloaded {
+				// A reloaded unit's accounting was already released at
+				// eviction; releasing it again would drive the gauges
+				// negative.
+				c.releaseUnit(m.bytes, false)
 			}
-			m.shards = nil
 			next++
 		}
 	}
@@ -359,89 +455,90 @@ func shardCapture(recs []*netdb.RouterInfo, shards int) [][]*netdb.RouterInfo {
 }
 
 // accumulateDay folds one day's merged observations into the dataset.
-// Every update is commutative across records, so shard layout and
-// iteration order never change the result; only the day order matters
-// (FirstDay/LastDay tracking), which both run paths preserve.
-func (c *Campaign) accumulateDay(ds *Dataset, db *geo.DB, day int, shards []map[netdb.Hash]*netdb.RouterInfo) {
+// recs must be in canonical identity-sorted order: intern IDs are
+// assigned on first sight, so the fold order — ascending days, sorted
+// records within a day — is what makes the Dataset byte-identical across
+// worker counts, resume, and streaming/retained modes.
+func (ds *Dataset) accumulateDay(db *geo.DB, day int, recs []*netdb.RouterInfo) {
 	stats := ds.day(day)
-	ipSeen := make(map[netip.Addr]bool)
+	// Per-day distinct-address counting rides the intern table's lastMark
+	// slot (day+1, so zero means never) instead of a fresh per-day map.
+	marker := int32(day + 1)
 
-	for _, merged := range shards {
-		for h, ri := range merged {
-			stats.Peers++
+	for _, ri := range recs {
+		stats.Peers++
 
-			// Peer tracking.
-			t := ds.track(h)
-			if t.FirstDay < 0 {
-				t.FirstDay = day
+		// Peer tracking.
+		t := ds.track(ri.Identity, day)
+
+		// Addresses.
+		for _, addr := range ri.IPs() {
+			id, g, fresh := ds.addrs.intern(db, addr)
+			if fresh && !g.resolved {
+				// One count per distinct unresolvable address — not per
+				// (record, address, day) occurrence, which used to inflate
+				// the summary once per day a bad address stayed alive.
+				ds.Unresolved++
 			}
-			t.LastDay = day
-			t.SeenDays[day-ds.StartDay] = true
-
-			// Addresses.
-			for _, addr := range ri.IPs() {
-				t.IPs[addr] = true
-				if !ipSeen[addr] {
-					ipSeen[addr] = true
-					stats.IPAll++
-					if addr.Is4() {
-						stats.IPv4++
-					} else {
-						stats.IPv6++
-					}
-				}
-				if rec, ok := db.Lookup(addr); ok {
-					t.ASNs[rec.ASN] = true
-					t.Countries[rec.CountryCode] = true
+			t.ips, _ = insertSorted(t.ips, id)
+			if ds.addrs.lastMark[id] != marker {
+				ds.addrs.lastMark[id] = marker
+				stats.IPAll++
+				if g.is4 {
+					stats.IPv4++
 				} else {
-					ds.Unresolved++
+					stats.IPv6++
 				}
 			}
+			if g.resolved {
+				t.asns, _ = insertSorted(t.asns, g.asn)
+				t.countries, _ = insertSorted(t.countries, g.country)
+			}
+		}
 
-			// Status classification (Section 5.1 / Figure 6).
-			firewalled := ri.Firewalled()
-			hidden := ri.HiddenPeer()
-			if ri.HasKnownIP() {
-				t.EverKnownIP = true
-			} else {
-				stats.UnknownIP++
-			}
-			if firewalled {
-				stats.Firewalled++
-				t.EverFirewalled = true
-			}
-			if hidden {
-				stats.Hidden++
-				t.EverHidden = true
-			}
-			if firewalled && hidden {
-				stats.Overlap++
-			}
+		// Status classification (Section 5.1 / Figure 6).
+		firewalled := ri.Firewalled()
+		hidden := ri.HiddenPeer()
+		if ri.HasKnownIP() {
+			t.EverKnownIP = true
+		} else {
+			stats.UnknownIP++
+		}
+		if firewalled {
+			stats.Firewalled++
+			t.EverFirewalled = true
+		}
+		if hidden {
+			stats.Hidden++
+			t.EverHidden = true
+		}
+		if firewalled && hidden {
+			stats.Overlap++
+		}
 
-			// Capacity flags (Figure 9, Table 1).
-			published := ri.Caps.PublishedClasses()
+		// Capacity flags (Figure 9, Table 1).
+		published := ri.Caps.PublishedClasses()
+		for _, cl := range published {
+			stats.ClassCounts[cl]++
+			t.classMask |= 1 << cl.Index()
+		}
+		t.primaryCount[ri.Caps.Class.Index()]++
+		if ri.Caps.Floodfill {
+			stats.Floodfill++
+			t.EverFloodfill = true
 			for _, cl := range published {
-				stats.ClassCounts[cl]++
-				t.Classes[cl] = true
+				stats.GroupClass["floodfill"][cl]++
 			}
-			t.primaryCount[ri.Caps.Class]++
-			if ri.Caps.Floodfill {
-				stats.Floodfill++
-				t.EverFloodfill = true
-				for _, cl := range published {
-					stats.GroupClass["floodfill"][cl]++
-				}
+		}
+		if ri.Caps.Reachable {
+			stats.Reachable++
+			for _, cl := range published {
+				stats.GroupClass["reachable"][cl]++
 			}
-			if ri.Caps.Reachable {
-				stats.Reachable++
-				for _, cl := range published {
-					stats.GroupClass["reachable"][cl]++
-				}
-			} else {
-				stats.Unreachable++
-				for _, cl := range published {
-					stats.GroupClass["unreachable"][cl]++
-				}
+		} else {
+			stats.Unreachable++
+			for _, cl := range published {
+				stats.GroupClass["unreachable"][cl]++
 			}
 		}
 	}
@@ -481,16 +578,14 @@ func (c *Campaign) newSnapshotter() (*snapshotter, error) {
 	return &snapshotter{c: c, store: netdb.NewStore(false)}, nil
 }
 
-func (s *snapshotter) write(day int, shards []map[netdb.Hash]*netdb.RouterInfo) error {
+func (s *snapshotter) write(day int, recs []*netdb.RouterInfo) error {
 	if s.store == nil {
 		return nil
 	}
 	now := s.c.net.DayTime(day)
 	s.store.Clear() // the daily cleanup of Section 4.3
-	for _, merged := range shards {
-		for _, ri := range merged {
-			s.store.PutRouterInfo(ri, now)
-		}
+	for _, ri := range recs {
+		s.store.PutRouterInfo(ri, now)
 	}
 	final := filepath.Join(s.c.cfg.SnapshotDir, fmt.Sprintf("day-%03d", day))
 	tmp := filepath.Join(s.c.cfg.SnapshotDir, fmt.Sprintf(".day-%03d.tmp", day))
@@ -501,6 +596,16 @@ func (s *snapshotter) write(day int, shards []map[netdb.Hash]*netdb.RouterInfo) 
 		os.RemoveAll(tmp)
 		return err
 	}
+	// Same durability contract as internal/checkpoint's stage→fsync→
+	// rename: fsync the staged tree before the rename and the parent
+	// after it, or a power loss can leave a "complete" day-NNN directory
+	// holding truncated routerInfo files (SaveDir itself never syncs).
+	// The campaign checkpoint unit is written after this snapshot, so a
+	// day unit on disk implies its snapshot is durable too.
+	if err := checkpoint.SyncTree(tmp); err != nil {
+		os.RemoveAll(tmp)
+		return fmt.Errorf("measure: snapshot: %w", err)
+	}
 	if err := os.RemoveAll(final); err != nil {
 		os.RemoveAll(tmp)
 		return fmt.Errorf("measure: snapshot: %w", err)
@@ -509,10 +614,16 @@ func (s *snapshotter) write(day int, shards []map[netdb.Hash]*netdb.RouterInfo) 
 		os.RemoveAll(tmp)
 		return fmt.Errorf("measure: snapshot: %w", err)
 	}
+	if err := checkpoint.SyncDir(s.c.cfg.SnapshotDir); err != nil {
+		return fmt.Errorf("measure: snapshot: %w", err)
+	}
 	return nil
 }
 
-// WriteSummary writes a short plain-text campaign summary to path.
+// WriteSummary writes a short plain-text campaign summary to path. The
+// write is atomic (stage + fsync + rename via checkpoint.WriteFileAtomic)
+// so a crash mid-write never leaves a torn summary beside checkpointed
+// artifacts that are all stage-then-rename.
 func (ds *Dataset) WriteSummary(path string, started time.Time) error {
 	var out string
 	out += fmt.Sprintf("campaign days: [%d, %d)\n", ds.StartDay, ds.EndDay)
@@ -520,5 +631,5 @@ func (ds *Dataset) WriteSummary(path string, started time.Time) error {
 	out += fmt.Sprintf("mean daily peers: %.0f\n", ds.MeanDailyPeers())
 	out += fmt.Sprintf("unresolved addresses: %d\n", ds.Unresolved)
 	out += fmt.Sprintf("generated: %s\n", started.UTC().Format(time.RFC3339))
-	return os.WriteFile(path, []byte(out), 0o644)
+	return checkpoint.WriteFileAtomic(path, []byte(out))
 }

@@ -69,19 +69,22 @@ func (c *Campaign) checkpointManifest() checkpoint.Manifest {
 // dayKey names the checkpoint unit holding one completed day.
 func dayKey(day int) string { return fmt.Sprintf("day-%03d", day) }
 
-// encodeDayUnit serializes one day's merged observations using the
-// netdb wire codec, sorted by identity so the unit's bytes are
-// independent of shard layout and map iteration order.
-func encodeDayUnit(shards []map[netdb.Hash]*netdb.RouterInfo) ([]byte, error) {
-	var recs []*netdb.RouterInfo
-	for _, m := range shards {
-		for _, ri := range m {
-			recs = append(recs, ri)
-		}
-	}
+// sortByIdentity puts one day's merged records into canonical order.
+// This is the single canonicalization point of the pipeline: both run
+// paths sort here once, and everything downstream — the Dataset fold
+// (which assigns intern IDs on first sight), the snapshot, and the
+// checkpoint unit bytes — inherits an order independent of shard layout
+// and map iteration.
+func sortByIdentity(recs []*netdb.RouterInfo) {
 	sort.Slice(recs, func(i, j int) bool {
 		return bytes.Compare(recs[i].Identity[:], recs[j].Identity[:]) < 0
 	})
+}
+
+// encodeDayUnit serializes one day's merged observations using the
+// netdb wire codec. recs must already be in canonical identity-sorted
+// order (see sortByIdentity), which makes the unit's bytes deterministic.
+func encodeDayUnit(recs []*netdb.RouterInfo) ([]byte, error) {
 	var buf bytes.Buffer
 	var u [4]byte
 	binary.LittleEndian.PutUint32(u[:], uint32(len(recs)))
@@ -98,16 +101,17 @@ func encodeDayUnit(shards []map[netdb.Hash]*netdb.RouterInfo) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// decodeDayUnit inverts encodeDayUnit into a single merged map — the
-// same shape the serial merge produces, so accumulation code cannot
-// tell a resumed day from a computed one.
-func decodeDayUnit(data []byte) (map[netdb.Hash]*netdb.RouterInfo, error) {
+// decodeDayUnit inverts encodeDayUnit. Records come back in the same
+// canonical identity-sorted order they were written in, so accumulation
+// code cannot tell a resumed (or evicted-and-reloaded) day from a
+// computed one.
+func decodeDayUnit(data []byte) ([]*netdb.RouterInfo, error) {
 	if len(data) < 4 {
 		return nil, fmt.Errorf("measure: day unit truncated")
 	}
 	n := binary.LittleEndian.Uint32(data)
 	data = data[4:]
-	merged := make(map[netdb.Hash]*netdb.RouterInfo, n)
+	recs := make([]*netdb.RouterInfo, 0, n)
 	for i := uint32(0); i < n; i++ {
 		if len(data) < 4 {
 			return nil, fmt.Errorf("measure: day unit truncated at record %d", i)
@@ -121,11 +125,11 @@ func decodeDayUnit(data []byte) (map[netdb.Hash]*netdb.RouterInfo, error) {
 		if err != nil {
 			return nil, fmt.Errorf("measure: day unit record %d: %w", i, err)
 		}
-		merged[ri.Identity] = ri
+		recs = append(recs, ri)
 		data = data[sz:]
 	}
 	if len(data) != 0 {
 		return nil, fmt.Errorf("measure: day unit has %d trailing bytes", len(data))
 	}
-	return merged, nil
+	return recs, nil
 }

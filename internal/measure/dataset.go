@@ -5,34 +5,54 @@
 package measure
 
 import (
+	"math/bits"
 	"net/netip"
+	"sort"
 
+	"github.com/i2pstudy/i2pstudy/internal/geo"
 	"github.com/i2pstudy/i2pstudy/internal/netdb"
 )
 
 // PeerTrack accumulates everything the campaign learned about one peer
 // (keyed by identity hash), mirroring what the paper's post-processing
 // derived from archived RouterInfos.
+//
+// The representation is deliberately compact — a bitset of seen days and
+// sorted slices of interned IDs instead of per-peer maps — because a
+// global-scale campaign holds one PeerTrack per distinct peer for the
+// whole run. At the paper's scale (30.5K daily peers, 90 days) the old
+// five-maps-per-peer layout dominated the heap; the compact layout is a
+// few dozen bytes per peer plus the shared intern tables. Fold order is
+// canonical (ascending day, identity-sorted within a day), so the
+// interned IDs — and therefore the whole Dataset — are byte-identical
+// across worker counts, resume, and streaming/retained modes.
 type PeerTrack struct {
 	Hash netdb.Hash
 
 	// FirstDay and LastDay bound the observation window (study days).
+	// A track is only ever created by an observation, so FirstDay is
+	// always a real day — see Dataset.track.
 	FirstDay, LastDay int
-	// SeenDays marks which study days the peer was observed.
-	SeenDays []bool
+	// seen is a bitset over [StartDay, EndDay) marking observed days.
+	seen []uint64
 
-	// IPs is the set of distinct public addresses observed (IPv4+IPv6).
-	IPs map[netip.Addr]bool
-	// ASNs and Countries are resolved via the offline geo database.
-	ASNs      map[uint32]bool
-	Countries map[string]bool
+	// ips holds the interned IDs (Dataset.addrs) of every distinct
+	// public address observed, sorted ascending.
+	ips []uint32
+	// asns holds the distinct ASNs resolved for those addresses, sorted.
+	asns []uint32
+	// countries holds the distinct resolved countries as packed ISO-2
+	// codes (see packCountry), sorted.
+	countries []uint16
+
+	// classMask has bit Index() set for every bandwidth letter seen
+	// across the campaign (primary + legacy + fluctuation).
+	classMask uint8
+	// primaryCount tallies primary-class observations by class Index().
+	primaryCount [7]int32
 
 	// Flag observations.
 	EverFloodfill bool
-	// Classes seen across the campaign (primary + legacy + fluctuation).
-	Classes map[netdb.BandwidthClass]bool
-	// PrimaryClass is the highest-frequency primary class observed.
-	primaryCount map[netdb.BandwidthClass]int
 
 	// Status observations.
 	EverKnownIP    bool
@@ -40,13 +60,16 @@ type PeerTrack struct {
 	EverHidden     bool
 }
 
+// markSeen sets the bitset bit for a zero-based day index.
+func (p *PeerTrack) markSeen(idx int) {
+	p.seen[idx>>6] |= 1 << (idx & 63)
+}
+
 // DaysObserved returns on how many distinct days the peer was seen.
 func (p *PeerTrack) DaysObserved() int {
 	n := 0
-	for _, s := range p.SeenDays {
-		if s {
-			n++
-		}
+	for _, w := range p.seen {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -54,14 +77,18 @@ func (p *PeerTrack) DaysObserved() int {
 // LongestRun returns the longest consecutive-day observation streak.
 func (p *PeerTrack) LongestRun() int {
 	best, cur := 0, 0
-	for _, s := range p.SeenDays {
-		if s {
-			cur++
-			if cur > best {
-				best = cur
+	for _, w := range p.seen {
+		for b := 0; b < 64; b++ {
+			if w&(1<<b) != 0 {
+				cur++
+				if cur > best {
+					best = cur
+				}
+			} else {
+				// Padding bits past EndDay are always zero; they can only
+				// break a streak that has already ended.
+				cur = 0
 			}
-		} else {
-			cur = 0
 		}
 	}
 	return best
@@ -72,16 +99,121 @@ func (p *PeerTrack) Span() int {
 	return p.LastDay - p.FirstDay + 1
 }
 
+// IPCount returns the number of distinct public addresses observed.
+func (p *PeerTrack) IPCount() int { return len(p.ips) }
+
+// ASCount returns the number of distinct autonomous systems resolved.
+func (p *PeerTrack) ASCount() int { return len(p.asns) }
+
+// ASNs returns the distinct ASNs in ascending order. The slice is the
+// track's own storage; callers must not modify it.
+func (p *PeerTrack) ASNs() []uint32 { return p.asns }
+
+// CountryCodes returns the distinct resolved country codes in ascending
+// (lexicographic) order.
+func (p *PeerTrack) CountryCodes() []string {
+	out := make([]string, len(p.countries))
+	for i, c := range p.countries {
+		out[i] = unpackCountry(c)
+	}
+	return out
+}
+
+// HasClass reports whether the peer ever published the class letter.
+func (p *PeerTrack) HasClass(cl netdb.BandwidthClass) bool {
+	i := cl.Index()
+	return i >= 0 && p.classMask&(1<<i) != 0
+}
+
 // PrimaryClass returns the most frequently observed primary class.
 func (p *PeerTrack) PrimaryClass() netdb.BandwidthClass {
 	best := netdb.ClassL
-	bestN := -1
-	for c, n := range p.primaryCount {
-		if n > bestN || (n == bestN && c.Index() > best.Index()) {
-			best, bestN = c, n
+	bestN := int32(0)
+	for i, n := range p.primaryCount {
+		// Ascending iteration: on a tie the higher class wins, matching
+		// the historical map-based tie-break.
+		if n > 0 && n >= bestN {
+			best, bestN = netdb.BandwidthClasses[i], n
 		}
 	}
 	return best
+}
+
+// packCountry packs an ISO-2 country code ("US", "RU", ...) into a
+// uint16 whose numeric order equals the codes' lexicographic order. The
+// offline geo database only ever emits two-letter codes.
+func packCountry(cc string) uint16 {
+	if len(cc) != 2 {
+		return 0
+	}
+	return uint16(cc[0])<<8 | uint16(cc[1])
+}
+
+func unpackCountry(c uint16) string {
+	return string([]byte{byte(c >> 8), byte(c)})
+}
+
+// insertSorted inserts v into ascending-sorted s if absent, reporting
+// whether it was added. Per-peer sets are small (a handful of IPs/ASNs),
+// so binary search + copy beats a map by an order of magnitude in bytes.
+func insertSorted[E interface{ ~uint16 | ~uint32 }](s []E, v E) ([]E, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s, false
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s, true
+}
+
+// addrGeo is the memoized geographic resolution of one interned address.
+type addrGeo struct {
+	asn      uint32
+	country  uint16
+	is4      bool
+	resolved bool
+}
+
+// addrIntern assigns dense uint32 IDs to every distinct public address a
+// campaign observes and memoizes its geo resolution, in the style of
+// censor.AddrIndex. IDs are assigned in canonical fold order (ascending
+// day, identity-sorted records, RouterInfo.IPs order), so two runs over
+// the same observations build identical tables regardless of worker
+// count or streaming mode.
+type addrIntern struct {
+	ids map[netip.Addr]uint32
+	geo []addrGeo
+	// lastMark[id] holds day+1 of the most recent day the address was
+	// counted, replacing the old per-day "seen this day" map for the
+	// distinct-IP day counters (zero = never).
+	lastMark []int32
+}
+
+func newAddrIntern() *addrIntern {
+	return &addrIntern{ids: make(map[netip.Addr]uint32)}
+}
+
+// intern returns the address's ID and memoized geo record, reporting
+// whether this is the first time the address was seen. geo.DB.Lookup is
+// pure, so resolving once per distinct address is exact — and it is what
+// makes Dataset.Unresolved count distinct unresolvable addresses rather
+// than (record, address, day) occurrences.
+func (a *addrIntern) intern(db *geo.DB, addr netip.Addr) (uint32, addrGeo, bool) {
+	if id, ok := a.ids[addr]; ok {
+		return id, a.geo[id], false
+	}
+	id := uint32(len(a.geo))
+	g := addrGeo{is4: addr.Is4()}
+	if rec, ok := db.Lookup(addr); ok {
+		g.asn = rec.ASN
+		g.country = packCountry(rec.CountryCode)
+		g.resolved = true
+	}
+	a.ids[addr] = id
+	a.geo = append(a.geo, g)
+	a.lastMark = append(a.lastMark, 0)
+	return id, g, true
 }
 
 // DayStats summarizes one study day — the rows behind Figures 5, 6 and 9.
@@ -122,7 +254,11 @@ func newDayStats(day int) *DayStats {
 	}
 }
 
-// Dataset is the accumulated result of a campaign.
+// Dataset is the accumulated result of a campaign. It is a fixed-size
+// fold target: its memory is O(distinct peers + distinct addresses +
+// days), independent of how many day units are in flight, which is what
+// lets the streaming campaign drop raw merged records as soon as a day
+// has been folded and spilled.
 type Dataset struct {
 	// StartDay and EndDay bound the campaign ([StartDay, EndDay)).
 	StartDay, EndDay int
@@ -131,9 +267,12 @@ type Dataset struct {
 	// Peers tracks every peer ever observed.
 	Peers map[netdb.Hash]*PeerTrack
 
-	// Resolver maps addresses to geographic records; unresolvable
-	// addresses are counted in Unresolved.
+	// Unresolved counts the distinct observed addresses the geo database
+	// could not resolve.
 	Unresolved int
+
+	// addrs interns every observed address with its memoized geo record.
+	addrs *addrIntern
 }
 
 // NewDataset prepares an empty dataset for the given day range.
@@ -142,6 +281,7 @@ func NewDataset(startDay, endDay int) *Dataset {
 		StartDay: startDay,
 		EndDay:   endDay,
 		Peers:    make(map[netdb.Hash]*PeerTrack),
+		addrs:    newAddrIntern(),
 	}
 	for d := startDay; d < endDay; d++ {
 		ds.Days = append(ds.Days, newDayStats(d))
@@ -154,22 +294,26 @@ func (ds *Dataset) day(d int) *DayStats {
 	return ds.Days[d-ds.StartDay]
 }
 
-// track returns (creating if needed) the PeerTrack for a hash.
-func (ds *Dataset) track(h netdb.Hash) *PeerTrack {
+// track records that the peer was observed on day and returns its
+// PeerTrack (creating it on first observation). Because creation always
+// carries the observing day, FirstDay is set at birth and a track with
+// FirstDay unset cannot exist — the analyses may iterate ds.Peers
+// without an "un-observed track" guard.
+func (ds *Dataset) track(h netdb.Hash, day int) *PeerTrack {
 	t, ok := ds.Peers[h]
 	if !ok {
 		t = &PeerTrack{
-			Hash:         h,
-			FirstDay:     -1,
-			SeenDays:     make([]bool, ds.EndDay-ds.StartDay),
-			IPs:          make(map[netip.Addr]bool),
-			ASNs:         make(map[uint32]bool),
-			Countries:    make(map[string]bool),
-			Classes:      make(map[netdb.BandwidthClass]bool),
-			primaryCount: make(map[netdb.BandwidthClass]int),
+			Hash:     h,
+			FirstDay: day,
+			LastDay:  day,
+			seen:     make([]uint64, (ds.EndDay-ds.StartDay+63)/64),
 		}
 		ds.Peers[h] = t
 	}
+	if day > t.LastDay {
+		t.LastDay = day
+	}
+	t.markSeen(day - ds.StartDay)
 	return t
 }
 

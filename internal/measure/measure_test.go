@@ -336,7 +336,8 @@ func TestSnapshotDirWritesNetDbFiles(t *testing.T) {
 
 func TestWriteSummary(t *testing.T) {
 	_, ds := dataset(t)
-	path := filepath.Join(t.TempDir(), "summary.txt")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "summary.txt")
 	if err := ds.WriteSummary(path, time.Now()); err != nil {
 		t.Fatal(err)
 	}
@@ -347,28 +348,43 @@ func TestWriteSummary(t *testing.T) {
 	if len(data) == 0 {
 		t.Fatal("empty summary")
 	}
+	// The write is stage-then-rename: overwriting must succeed and no
+	// staging file may remain beside the summary.
+	if err := ds.WriteSummary(path, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "summary.txt" {
+			t.Errorf("summary write left %s behind", e.Name())
+		}
+	}
 }
 
 func TestPeerTrackHelpers(t *testing.T) {
 	ds := NewDataset(0, 10)
 	h := netdb.HashFromUint64(1)
-	tr := ds.track(h)
-	tr.FirstDay = 2
-	tr.LastDay = 8
-	tr.SeenDays[2] = true
-	tr.SeenDays[3] = true
-	tr.SeenDays[6] = true
+	tr := ds.track(h, 2)
+	if tr.FirstDay != 2 || tr.LastDay != 2 {
+		t.Fatalf("creation must set the window: first=%d last=%d", tr.FirstDay, tr.LastDay)
+	}
+	ds.track(h, 3)
+	ds.track(h, 6)
+	ds.track(h, 8)
 	if tr.Span() != 7 {
 		t.Fatalf("span = %d, want 7", tr.Span())
 	}
 	if tr.LongestRun() != 2 {
 		t.Fatalf("run = %d, want 2", tr.LongestRun())
 	}
-	if tr.DaysObserved() != 3 {
-		t.Fatalf("days = %d, want 3", tr.DaysObserved())
+	if tr.DaysObserved() != 4 {
+		t.Fatalf("days = %d, want 4", tr.DaysObserved())
 	}
 	// Same hash returns the same track.
-	if ds.track(h) != tr {
+	if ds.track(h, 8) != tr {
 		t.Fatal("track not memoized")
 	}
 	if len(ds.SortedHashes()) != 1 {

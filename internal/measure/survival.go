@@ -31,10 +31,11 @@ func (ds *Dataset) SurvivalCurve() []SurvivalPoint {
 		died     bool
 	}
 	var observations []obs
+	// No un-observed-track guard is needed here (or in any ds.Peers
+	// iteration): Dataset.track requires the observing day and sets
+	// FirstDay at creation, so a track with FirstDay unset cannot exist —
+	// see TestTracksAlwaysObserved.
 	for _, t := range ds.Peers {
-		if t.FirstDay < 0 {
-			continue
-		}
 		observations = append(observations, obs{
 			duration: t.Span(),
 			died:     t.LastDay < lastDay,

@@ -216,8 +216,27 @@ snapshot_counters() {
   echo "spliced counter snapshot into $out"
 }
 
+# campaign_memstats OUT — splice the streaming campaign's memory
+# accounting (scripts/obssnap -campaign: retained-unit peak, evictions,
+# peak RSS) into OUT, just before the "cores" field. These ride next to
+# the campaign ns/op so a perf move comes with its memory story — an
+# RSS jump with a flat retained-unit peak is allocator noise, a peak
+# jump is a pipeline bug; bench_compare.sh diffs them warn-only.
+campaign_memstats() {
+  local out="$1" snap fields
+  snap="$(go run ./scripts/obssnap -campaign)"
+  echo "$snap"
+  fields="$(echo "$snap" | awk '{printf "  \"%s\": %s,\n", $1, $2}')"
+  awk -v fields="$fields" '
+    /"cores":/ { printf "%s\n", fields }
+    { print }
+  ' "$out" > "$out.tmp" && mv "$out.tmp" "$out"
+  echo "spliced campaign memstats into $out"
+}
+
 run_pair ./internal/measure/ 'BenchmarkCampaign(Serial|Parallel)$' \
   BenchmarkCampaignSerial BenchmarkCampaignParallel campaign-engine "$campaign_out"
+campaign_memstats "$campaign_out"
 
 run_pair ./internal/censor/ 'BenchmarkFigure13Sweep(Serial|Parallel)$' \
   BenchmarkFigure13SweepSerial BenchmarkFigure13SweepParallel censor-sweep-engine "$censor_out"

@@ -24,17 +24,22 @@ fresh="${2:?usage: bench_compare.sh BASELINE_DIR FRESH_DIR [THRESHOLD_PCT]}"
 thr="${3:-25}"
 
 # fields FILE — emit "key value" for every compared field: *_ns_per_op,
-# *_allocs_per_op, the service's p99_latency_ns, and the scheduler/cache
+# *_allocs_per_op, the service's p99_latency_ns, the scheduler/cache
 # counter snapshots bench.sh splices in (engine_*_total, cache_*_total,
 # windowcounter_*_total) — a steal-rate or cache-miss jump warns just
-# like a ns/op regression, and explains it.
+# like a ns/op regression, and explains it — and the streaming
+# campaign's memory accounting (measure_* gauges, campaign_peak_rss_kb):
+# a retained-unit-peak jump is a pipeline-bound bug, a nonzero
+# end-of-run retained count is a leak, and both warn the same way.
 fields() {
   sed -n -e 's/.*"\([a-z_]*ns_per_op\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
     -e 's/.*"\([a-z_]*allocs_per_op\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
     -e 's/.*"\(p99_latency_ns\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
     -e 's/.*"\(engine_[a-z_]*_total\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
     -e 's/.*"\(cache_[a-z_]*_total\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
-    -e 's/.*"\(windowcounter_[a-z_]*_total\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' "$1"
+    -e 's/.*"\(windowcounter_[a-z_]*_total\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
+    -e 's/.*"\(measure_[a-z_]*\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' \
+    -e 's/.*"\(campaign_peak_rss_kb\)":[[:space:]]*\([0-9][0-9]*\).*/\1 \2/p' "$1"
 }
 
 # cores_of FILE — the core count the file's numbers were taken on.

@@ -11,6 +11,13 @@
 // the counters explain a perf move (a splits spike, a cold cache) that
 // the timing numbers alone only show. Worker width follows GOMAXPROCS,
 // matching how the bench jobs pin cores.
+//
+// With -campaign the tool instead runs one streaming measurement
+// campaign and prints its memory accounting: the measure_* retained-unit
+// gauges and eviction counter from the obs registry, the campaign grid
+// size, and the process's peak RSS. scripts/stream_smoke.sh asserts the
+// bounded-memory contract against these lines, and bench.sh splices
+// them into BENCH_campaign.json.
 package main
 
 import (
@@ -20,8 +27,10 @@ import (
 	"log"
 	"sort"
 	"strings"
+	"syscall"
 
 	"github.com/i2pstudy/i2pstudy/internal/core"
+	"github.com/i2pstudy/i2pstudy/internal/measure"
 	"github.com/i2pstudy/i2pstudy/internal/obs"
 	"github.com/i2pstudy/i2pstudy/internal/obs/promtest"
 )
@@ -34,10 +43,18 @@ func main() {
 	seed := flag.Uint64("seed", 2018, "simulation seed")
 	days := flag.Int("days", 40, "study horizon in days")
 	experiment := flag.String("experiment", "figure-13", "experiment driving the counters")
+	campaign := flag.Bool("campaign", false, "snapshot the streaming campaign's memory accounting instead of sweep counters")
+	workers := flag.Int("workers", 4, "campaign engine width for -campaign")
+	checkpointDir := flag.String("checkpoint-dir", "", "campaign checkpoint directory for -campaign (also the eviction spill target)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
 	obs.Enable(reg)
+
+	if *campaign {
+		runCampaign(reg, *scale, *seed, *days, *workers, *checkpointDir)
+		return
+	}
 
 	opts := core.DefaultOptions()
 	opts.Seed = *seed
@@ -67,6 +84,66 @@ func main() {
 			total += s.Value
 		}
 		lines = append(lines, fmt.Sprintf("%s %d", strings.TrimPrefix(f.Name, "i2p_"), int64(total)))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// runCampaign runs one streaming campaign and prints its memory
+// accounting as "key value" lines. The gauge/counter values come from
+// the obs registry — the same families an operator would scrape — so
+// the smoke script exercises the wiring end to end; the grid size and
+// peak RSS frame them.
+func runCampaign(reg *obs.Registry, scale float64, seed uint64, days, workers int, checkpointDir string) {
+	n, err := core.NewStudy(core.Options{
+		Seed:             seed,
+		Days:             days,
+		TargetDailyPeers: int(scale * 30500),
+		MainFleetSize:    8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := measure.NewCampaign(n.Net, measure.CampaignConfig{
+		Observers:     measure.DefaultObserverFleet(8),
+		StartDay:      0,
+		EndDay:        days,
+		Workers:       workers,
+		CheckpointDir: checkpointDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := c.RunContext(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ds.TotalPeers() == 0 {
+		log.Fatal("campaign observed nothing")
+	}
+
+	fams, err := promtest.Parse(reg.RenderText())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lines []string
+	for _, f := range fams {
+		if !strings.HasPrefix(f.Name, "i2p_measure_") {
+			continue
+		}
+		var total float64
+		for _, s := range f.Samples {
+			total += s.Value
+		}
+		lines = append(lines, fmt.Sprintf("%s %d", strings.TrimPrefix(f.Name, "i2p_"), int64(total)))
+	}
+	lines = append(lines, fmt.Sprintf("campaign_days %d", days))
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err == nil {
+		// Linux reports ru_maxrss in KB.
+		lines = append(lines, fmt.Sprintf("campaign_peak_rss_kb %d", ru.Maxrss))
 	}
 	sort.Strings(lines)
 	for _, l := range lines {
